@@ -1,0 +1,54 @@
+// Ablation: the paper's flat per-access Em vs a row-buffer memory.
+//
+// The paper charges Em for every main-memory access regardless of
+// address. A page-mode part charges rowHit or rowMiss depending on
+// locality in the *miss stream* — which the cache configuration itself
+// shapes: bigger lines make the miss stream more sequential. The
+// equivalent-Em column shows what constant the paper's model would need
+// per configuration to match.
+#include "bench_util.hpp"
+
+#include "memx/energy/dram_model.hpp"
+#include "memx/loopir/trace_gen.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  section("Ablation: row-buffer memory vs flat Em (miss streams of the "
+          "five kernels)");
+  Table t({"kernel", "cache", "row-hit rate", "memory energy (nJ)",
+           "equivalent Em (nJ)"});
+  for (const Kernel& k : paperBenchmarks()) {
+    for (const auto& [size, line] :
+         {std::pair{64u, 8u}, std::pair{64u, 32u}}) {
+      const DramStats s =
+          replayMissStream(dm(size, line), generateTrace(k));
+      const double equivalentEm =
+          s.energyNj / std::max<double>(static_cast<double>(s.accesses),
+                                        1.0);
+      t.addRow({k.name, dm(size, line).label(),
+                fmtFixed(s.rowHitRate(), 3), fmtSig3(s.energyNj),
+                fmtFixed(equivalentEm, 2)});
+    }
+  }
+  std::cout << t;
+  std::cout << "\nLarger lines raise the row-hit rate of the miss stream "
+               "and so LOWER the\nper-access memory energy — a coupling "
+               "the paper's constant Em cannot\nexpress; with page-mode "
+               "parts the Em * L penalty for long lines is\noverstated.\n";
+}
+
+void BM_DramReplay(benchmark::State& state) {
+  const Trace trace = generateTrace(sorKernel());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replayMissStream(dm(64, 8), trace));
+  }
+}
+BENCHMARK(BM_DramReplay);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,68 @@
+// Ablation: loop interchange vs tiling on the transpose kernel.
+//
+// The paper's Example 3 argues that interchange cannot fix a[i][j] =
+// b[j][i] — whichever loop is innermost, one array is stride-n — while
+// tiling fixes both. This bench verifies that argument by simulation.
+#include "bench_util.hpp"
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/xform/tiling.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  section("Ablation: interchange vs tiling on transpose (Example 3)");
+  const Kernel original = transposeKernel(32);
+  const Kernel swapped = interchange(original, 0, 1);
+
+  ExploreOptions o = paperOptions();
+  const Explorer ex(o);
+  const CacheConfig cache = dm(128, 8);
+
+  Table t({"variant", "miss rate", "cycles", "energy (nJ)"});
+  const DesignPoint base = ex.evaluate(original, cache, 1);
+  t.addRow({"original (i, j)", fmtFixed(base.missRate, 3),
+            fmtSig3(base.cycles), fmtSig3(base.energyNj)});
+
+  // Interchange produces a structurally different kernel; evaluate it
+  // through the same pipeline.
+  const DesignPoint inter = ex.evaluate(swapped, cache, 1);
+  t.addRow({"interchanged (j, i)", fmtFixed(inter.missRate, 3),
+            fmtSig3(inter.cycles), fmtSig3(inter.energyNj)});
+
+  for (const std::uint32_t b : {2u, 4u}) {
+    const DesignPoint tiled = ex.evaluate(original, cache, b);
+    t.addRow({"tiled B=" + std::to_string(b),
+              fmtFixed(tiled.missRate, 3), fmtSig3(tiled.cycles),
+              fmtSig3(tiled.energyNj)});
+  }
+  std::cout << t;
+  std::cout << "\nInterchange merely swaps which array streams "
+               "(miss rates comparable);\ntiling is the transform that "
+               "actually removes misses — the paper's\nExample 3 "
+               "argument, verified by simulation.\n";
+}
+
+void BM_Interchange(benchmark::State& state) {
+  const Kernel k = transposeKernel(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interchange(k, 0, 1));
+  }
+}
+BENCHMARK(BM_Interchange);
+
+void BM_Tile2D(benchmark::State& state) {
+  const Kernel k = transposeKernel(32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tile2D(k, 4));
+  }
+}
+BENCHMARK(BM_Tile2D);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,66 @@
+// Ablation: next-line prefetching vs the paper's line-size lever.
+//
+// The paper buys spatial locality by doubling L (paying Em * L on every
+// miss); a one-block-lookahead prefetcher gets streaming coverage at
+// small L. This table compares the three designs on demand miss rate
+// and total off-chip line traffic.
+#include "bench_util.hpp"
+
+#include "memx/cachesim/prefetch.hpp"
+#include "memx/loopir/trace_gen.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  section("Ablation: prefetching (C64) — demand miss rate / off-chip "
+          "lines per access");
+  Table t({"kernel", "L8 plain", "L16 plain", "L8 + on-miss",
+           "L8 + tagged", "tagged accuracy"});
+  for (const Kernel& k : paperBenchmarks()) {
+    const Trace trace = generateTrace(k);
+
+    const CacheStats l8 = simulateTrace(dm(64, 8), trace);
+    const CacheStats l16 = simulateTrace(dm(64, 16), trace);
+
+    PrefetchingCache onMiss(dm(64, 8), PrefetchPolicy::OnMiss);
+    onMiss.run(trace);
+    PrefetchingCache tagged(dm(64, 8), PrefetchPolicy::Tagged);
+    tagged.run(trace);
+
+    auto cell = [](double mr, double traffic) {
+      return fmtFixed(mr, 3) + " / " + fmtFixed(traffic, 3);
+    };
+    const double n = static_cast<double>(trace.size());
+    t.addRow({k.name,
+              cell(l8.missRate(), static_cast<double>(l8.lineFills) / n),
+              cell(l16.missRate(),
+                   static_cast<double>(l16.lineFills) / n),
+              cell(onMiss.stats().demand.missRate(),
+                   onMiss.stats().trafficPerAccess()),
+              cell(tagged.stats().demand.missRate(),
+                   tagged.stats().trafficPerAccess()),
+              fmtFixed(tagged.stats().accuracy(), 2)});
+  }
+  std::cout << t;
+  std::cout << "\nOn the streaming kernels tagged prefetch at L8 beats "
+               "doubling the line\nsize on demand misses at comparable "
+               "traffic; on reuse-heavy kernels it\npollutes — the same "
+               "trade-off the paper's L sweep exposes.\n";
+}
+
+void BM_TaggedPrefetchRun(benchmark::State& state) {
+  const Trace trace = generateTrace(dequantKernel());
+  for (auto _ : state) {
+    PrefetchingCache pc(dm(64, 8), PrefetchPolicy::Tagged);
+    pc.run(trace);
+    benchmark::DoNotOptimize(pc.stats());
+  }
+}
+BENCHMARK(BM_TaggedPrefetchRun);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

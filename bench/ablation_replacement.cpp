@@ -1,0 +1,56 @@
+// Ablation: replacement policy (LRU vs FIFO vs random) across the
+// benchmark kernels at a 4-way C128L8 — quantifies how much of the
+// Section-4.3 associativity benefit depends on LRU.
+#include "bench_util.hpp"
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/loopir/trace_gen.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  section("Ablation: replacement policy, 4-way C128L8");
+  Table t({"kernel", "LRU miss rate", "FIFO miss rate",
+           "random miss rate"});
+  for (const Kernel& k : paperBenchmarks()) {
+    const Trace trace = generateTrace(k);
+    std::vector<std::string> row{k.name};
+    for (const ReplacementPolicy policy :
+         {ReplacementPolicy::LRU, ReplacementPolicy::FIFO,
+          ReplacementPolicy::Random}) {
+      CacheConfig c = dm(128, 8, 4);
+      c.replacement = policy;
+      row.push_back(fmtFixed(simulateTrace(c, trace).missRate(), 4));
+    }
+    t.addRow(std::move(row));
+  }
+  std::cout << t;
+}
+
+void BM_SimulateLru(benchmark::State& state) {
+  const Trace trace = generateTrace(sorKernel());
+  CacheConfig c = dm(128, 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulateTrace(c, trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulateLru);
+
+void BM_SimulateRandom(benchmark::State& state) {
+  const Trace trace = generateTrace(sorKernel());
+  CacheConfig c = dm(128, 8, 4);
+  c.replacement = ReplacementPolicy::Random;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulateTrace(c, trace));
+  }
+}
+BENCHMARK(BM_SimulateRandom);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

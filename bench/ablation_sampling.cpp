@@ -1,0 +1,61 @@
+// Ablation: set-sampled simulation accuracy vs speedup.
+//
+// Industrial traces are simulated on 1-in-N set samples; this table
+// quantifies the miss-rate error that buys on our kernels, and the
+// google-benchmark section measures the actual speedup.
+#include "bench_util.hpp"
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/cachesim/set_sampling.hpp"
+#include "memx/loopir/trace_gen.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  section("Ablation: set-sampling accuracy (C256L8, 32 sets)");
+  Table t({"kernel", "full", "1/2 sets", "1/4 sets", "1/8 sets",
+           "max abs error"});
+  for (const Kernel& k : paperBenchmarks()) {
+    const Trace trace = generateTrace(k);
+    const CacheConfig c = dm(256, 8);
+    const double full = simulateTrace(c, trace).missRate();
+    std::vector<std::string> row{k.name, fmtFixed(full, 4)};
+    double maxErr = 0.0;
+    for (const std::uint32_t factor : {2u, 4u, 8u}) {
+      const double est =
+          estimateMissRateBySetSampling(c, trace, factor);
+      maxErr = std::max(maxErr, std::abs(est - full));
+      row.push_back(fmtFixed(est, 4));
+    }
+    row.push_back(fmtFixed(maxErr, 4));
+    t.addRow(std::move(row));
+  }
+  std::cout << t;
+}
+
+void BM_FullSimulation(benchmark::State& state) {
+  const Trace trace = generateTrace(matMulKernel());
+  const CacheConfig c = dm(256, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulateTrace(c, trace));
+  }
+}
+BENCHMARK(BM_FullSimulation);
+
+void BM_SampledSimulation(benchmark::State& state) {
+  const Trace trace = generateTrace(matMulKernel());
+  const CacheConfig c = dm(256, 8);
+  const auto factor = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimateMissRateBySetSampling(c, trace, factor));
+  }
+}
+BENCHMARK(BM_SampledSimulation)->Arg(4)->Arg(8);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

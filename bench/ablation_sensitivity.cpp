@@ -1,0 +1,74 @@
+// Ablation: sensitivity of the selected configuration to the model
+// constants — the generalization of Figure 1's Em study.
+#include "bench_util.hpp"
+
+#include "memx/core/sensitivity.hpp"
+#include "memx/energy/sram_catalog.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+ExploreOptions sweepBase() {
+  ExploreOptions o = paperOptions();
+  o.ranges.maxCacheBytes = 512;
+  o.ranges.sweepAssociativity = false;
+  o.ranges.sweepTiling = false;
+  return o;
+}
+
+void printRows(const std::vector<SensitivityRow>& rows,
+               const std::string& name) {
+  Table t({name, "min-energy config", "energy (nJ)", "min-cycle config",
+           "cycles"});
+  for (const SensitivityRow& r : rows) {
+    t.addRow({fmtSig3(r.parameterValue), r.minEnergyKey.label(),
+              fmtSig3(r.minEnergyNj), r.minCycleKey.label(),
+              fmtSig3(r.minCycles)});
+  }
+  std::cout << t;
+  std::cout << (selectionStable(rows)
+                    ? "selection STABLE across the range\n\n"
+                    : "selection MOVES across the range\n\n");
+}
+
+void printFigure() {
+  section("Ablation: Em sensitivity (Compress)");
+  const double ems[] = {1.0, kEmLow2MbitNj, kEmCypress2MbitNj, 10.0,
+                        kEmHigh16MbitNj};
+  printRows(sweepEmSensitivity(compressKernel(), ems, sweepBase()), "Em");
+
+  section("Ablation: data-bus activity sensitivity (Compress)");
+  const double activities[] = {0.1, 0.25, 0.5, 0.75, 1.0};
+  printRows(sweepSensitivity(
+                compressKernel(), activities,
+                [](ExploreOptions& o, double v) {
+                  o.energy.dataActivity = v;
+                },
+                sweepBase()),
+            "activity");
+
+  section("Ablation: beta (cell energy) sensitivity (Compress)");
+  const double betas[] = {0.5, 1.0, 2.0, 4.0, 8.0};
+  printRows(sweepSensitivity(
+                compressKernel(), betas,
+                [](ExploreOptions& o, double v) { o.energy.betaPj = v; },
+                sweepBase()),
+            "beta (pJ)");
+}
+
+void BM_SensitivitySweep(benchmark::State& state) {
+  const double ems[] = {2.0, 4.0};
+  ExploreOptions o = sweepBase();
+  o.ranges.maxCacheBytes = 128;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sweepEmSensitivity(dequantKernel(), ems, o));
+  }
+}
+BENCHMARK(BM_SensitivitySweep);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,81 @@
+// Figure 1: Compress — variation in energy for different cache sizes and
+// line sizes, at the two main-memory energy extremes (Em = 43.56 nJ
+// 16 Mbit SRAM vs Em = 2.31 nJ 2 Mbit SRAM).
+//
+// Paper shape: with expensive main memory, energy falls as the cache
+// grows; with cheap main memory, it rises.
+#include "bench_util.hpp"
+
+#include "memx/energy/sram_catalog.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printEnergyGrid(double em) {
+  const Explorer ex(paperOptions(em));
+  const Kernel k = compressKernel();
+  Table t({"cache", "L4", "L8", "L16", "L32", "L64"});
+  for (const std::uint32_t size : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    std::vector<std::string> row{"C" + std::to_string(size)};
+    for (const std::uint32_t line : {4u, 8u, 16u, 32u, 64u}) {
+      if (line > size / 4) {  // the paper keeps >= 4 cache lines
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(fmtSig3(ex.evaluate(k, dm(size, line)).energyNj));
+    }
+    t.addRow(std::move(row));
+  }
+  std::cout << t;
+}
+
+void printFigure() {
+  section("Figure 1a: Compress energy (nJ), Em = 43.56 nJ (16 Mbit SRAM)");
+  printEnergyGrid(kEmHigh16MbitNj);
+  section("Figure 1b: Compress energy (nJ), Em = 2.31 nJ (2 Mbit SRAM)");
+  printEnergyGrid(kEmLow2MbitNj);
+
+  // The headline crossover, stated explicitly.
+  const Kernel k = compressKernel();
+  const double hiSmall =
+      Explorer(paperOptions(kEmHigh16MbitNj)).evaluate(k, dm(16, 4)).energyNj;
+  const double hiLarge =
+      Explorer(paperOptions(kEmHigh16MbitNj)).evaluate(k, dm(512, 4)).energyNj;
+  const double loSmall =
+      Explorer(paperOptions(kEmLow2MbitNj)).evaluate(k, dm(16, 4)).energyNj;
+  const double loLarge =
+      Explorer(paperOptions(kEmLow2MbitNj)).evaluate(k, dm(512, 4)).energyNj;
+  std::cout << "\nEm = 43.56: C16L4 " << fmtSig3(hiSmall) << " -> C512L4 "
+            << fmtSig3(hiLarge)
+            << (hiLarge < hiSmall ? "  (energy falls with cache size)"
+                                  : "  (!! expected fall)")
+            << "\nEm =  2.31: C16L4 " << fmtSig3(loSmall) << " -> C512L4 "
+            << fmtSig3(loLarge)
+            << (loLarge > loSmall ? "  (energy rises with cache size)"
+                                  : "  (!! expected rise)")
+            << '\n';
+}
+
+void BM_EvaluatePoint(benchmark::State& state) {
+  const Explorer ex(paperOptions());
+  const Kernel k = compressKernel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.evaluate(k, dm(64, 8)));
+  }
+}
+BENCHMARK(BM_EvaluatePoint);
+
+void BM_EnergyModelOnly(benchmark::State& state) {
+  EnergyParams p;
+  const CacheEnergyModel m(dm(64, 8), p, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.totalNj(4805, 0.1));
+  }
+}
+BENCHMARK(BM_EnergyModelOnly);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,60 @@
+// Figure 2: miss rate, number of cycles and energy vs cache size and
+// cache line size along the paper's diagonal C16L4, C32L8, C64L16,
+// C128L32 for all five benchmarks (Em = 4.95 nJ).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+constexpr std::pair<std::uint32_t, std::uint32_t> kDiagonal[] = {
+    {16, 4}, {32, 8}, {64, 16}, {128, 32}};
+
+void printFigure() {
+  const Explorer ex(paperOptions());
+  const std::vector<Kernel> kernels = paperBenchmarks();
+
+  section("Figure 2: miss rate vs (C, L), Em = 4.95 nJ");
+  Table miss({"config", "Compress", "Mat.Multi.", "PDE", "SOR", "Dequant"});
+  Table cycles(
+      {"config", "Compress", "Mat.Multi.", "PDE", "SOR", "Dequant"});
+  Table energy(
+      {"config", "Compress", "Mat.Multi.", "PDE", "SOR", "Dequant"});
+  for (const auto& [size, line] : kDiagonal) {
+    const std::string label =
+        "C" + std::to_string(size) + "L" + std::to_string(line);
+    std::vector<std::string> mrow{label}, crow{label}, erow{label};
+    for (const Kernel& k : kernels) {
+      const DesignPoint p = ex.evaluate(k, dm(size, line));
+      mrow.push_back(fmtFixed(p.missRate, 3));
+      crow.push_back(fmtSig3(p.cycles));
+      erow.push_back(fmtSig3(p.energyNj));
+    }
+    miss.addRow(std::move(mrow));
+    cycles.addRow(std::move(crow));
+    energy.addRow(std::move(erow));
+  }
+  std::cout << miss;
+  section("Figure 2: number of cycles vs (C, L)");
+  std::cout << cycles;
+  section("Figure 2: energy (nJ) vs (C, L)");
+  std::cout << energy;
+}
+
+void BM_FiveKernelDiagonal(benchmark::State& state) {
+  const Explorer ex(paperOptions());
+  const std::vector<Kernel> kernels = paperBenchmarks();
+  for (auto _ : state) {
+    double sum = 0;
+    for (const Kernel& k : kernels) {
+      sum += ex.evaluate(k, dm(64, 16)).energyNj;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FiveKernelDiagonal);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,44 @@
+// Figure 3: Compress — variation in the number of processor cycles for
+// different cache sizes (32..512) and line sizes (4..64), keeping at
+// least 4 cache lines, Em = 4.95 nJ.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  section("Figure 3: Compress cycles vs (C, L), >= 4 cache lines");
+  const Explorer ex(paperOptions());
+  const Kernel k = compressKernel();
+  Table t({"cache", "L4", "L8", "L16", "L32", "L64"});
+  for (const std::uint32_t size : {32u, 64u, 128u, 256u, 512u}) {
+    std::vector<std::string> row{"C" + std::to_string(size)};
+    for (const std::uint32_t line : {4u, 8u, 16u, 32u, 64u}) {
+      if (line > size / 4) {
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(fmtSig3(ex.evaluate(k, dm(size, line)).cycles));
+    }
+    t.addRow(std::move(row));
+  }
+  std::cout << t;
+  std::cout << "\nCycles fall monotonically toward large caches with "
+               "large lines;\nthe minimum-time configuration sits at the "
+               "bottom-right of the grid.\n";
+}
+
+void BM_CompressTraceSimC512L64(benchmark::State& state) {
+  const Explorer ex(paperOptions());
+  const Kernel k = compressKernel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.evaluate(k, dm(512, 64)));
+  }
+}
+BENCHMARK(BM_CompressTraceSimC512L64);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,99 @@
+// Figure 4: Compress — variation in energy for different cache sizes and
+// line sizes (Em = 4.95 nJ, the Cypress CY7C SRAM), plus the paper's
+// bounded selections: minimum-energy configuration, minimum-time
+// configuration, and the choices under a cycle bound / an energy bound.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  section("Figure 4: Compress energy (nJ) vs (C, L), Em = 4.95 nJ");
+  ExploreOptions o = paperOptions();
+  o.ranges.maxCacheBytes = 512;
+  o.ranges.sweepAssociativity = false;
+  o.ranges.sweepTiling = false;
+  const Explorer ex(o);
+  const Kernel k = compressKernel();
+
+  Table t({"cache", "L4", "L8", "L16", "L32", "L64"});
+  for (const std::uint32_t size : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    std::vector<std::string> row{"C" + std::to_string(size)};
+    for (const std::uint32_t line : {4u, 8u, 16u, 32u, 64u}) {
+      if (line > size / 4) {
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(fmtSig3(ex.evaluate(k, dm(size, line)).energyNj));
+    }
+    t.addRow(std::move(row));
+  }
+  std::cout << t;
+
+  const ExplorationResult r = ex.explore(k);
+  const auto minE = minEnergyPoint(r.points);
+  const auto minC = minCyclePoint(r.points);
+  std::cout << "\nminimum-energy configuration: " << minE->label() << " ("
+            << fmtSig3(minE->energyNj) << " nJ, " << fmtSig3(minE->cycles)
+            << " cycles)\n";
+  std::cout << "minimum-time configuration:   " << minC->label() << " ("
+            << fmtSig3(minC->cycles) << " cycles, "
+            << fmtSig3(minC->energyNj) << " nJ)\n";
+
+  // The paper's walkthrough: a cycle bound forces a compromise.
+  const double cycleBound = 1.6 * minC->cycles;
+  const auto underCycles = minEnergyPoint(r.points, cycleBound);
+  std::cout << "min-energy with cycles <= " << fmtSig3(cycleBound) << ": "
+            << underCycles->label() << '\n';
+  const double energyBound = 1.5 * minE->energyNj;
+  const auto underEnergy = minCyclePoint(r.points, energyBound);
+  std::cout << "min-time with energy (nJ) <= " << fmtSig3(energyBound)
+            << ": " << underEnergy->label() << '\n';
+
+  // The paper reports C16L4 as the minimum-energy configuration. Its
+  // Em * line_size term charges one SRAM access per *byte*; the Cypress
+  // part is 16 bits wide, so the physically-consistent reading charges
+  // one access per two bytes. Under that reading the selection matches
+  // the paper exactly:
+  ExploreOptions o16 = o;
+  o16.energy.mainBytesPerAccess = 2;
+  const Explorer ex16(o16);
+  const auto minE16 = minEnergyPoint(ex16.explore(k).points);
+  std::cout << "\nwith a 16-bit main-memory part (Em per 2 bytes): "
+               "min-energy = "
+            << minE16->label() << " ("
+            << fmtSig3(minE16->energyNj) << " nJ)"
+            << (minE16->key.cacheBytes == 16
+                    ? "  <- the paper's C16L4 corner\n"
+                    : "\n");
+}
+
+void BM_FullCompressSweep(benchmark::State& state) {
+  ExploreOptions o = paperOptions();
+  o.ranges.maxCacheBytes = 512;
+  o.ranges.sweepAssociativity = false;
+  o.ranges.sweepTiling = false;
+  for (auto _ : state) {
+    const Explorer ex(o);  // fresh layout memo per iteration
+    benchmark::DoNotOptimize(ex.explore(compressKernel()));
+  }
+}
+BENCHMARK(BM_FullCompressSweep);
+
+void BM_ParetoExtraction(benchmark::State& state) {
+  ExploreOptions o = paperOptions();
+  o.ranges.sweepAssociativity = false;
+  o.ranges.sweepTiling = false;
+  const Explorer ex(o);
+  const ExplorationResult r = ex.explore(compressKernel());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(paretoFront(r.points));
+  }
+}
+BENCHMARK(BM_ParetoExtraction);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,49 @@
+// Figure 7: Compress and Dequant — energy vs tiling size (T1..T16) and
+// energy vs set associativity (SA1..SA8), both at C64L8, Em = 4.95 nJ.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  const Explorer ex(paperOptions());
+  const std::vector<Kernel> kernels = {compressKernel(), dequantKernel()};
+
+  section("Figure 7a: energy (nJ) vs tiling size, C64L8");
+  Table tiling({"kernel", "T1", "T2", "T4", "T8", "T16"});
+  for (const Kernel& k : kernels) {
+    std::vector<std::string> row{k.name};
+    for (const std::uint32_t b : {1u, 2u, 4u, 8u, 16u}) {
+      row.push_back(fmtSig3(ex.evaluate(k, dm(64, 8), b).energyNj));
+    }
+    tiling.addRow(std::move(row));
+  }
+  std::cout << tiling;
+
+  section("Figure 7b: energy (nJ) vs set associativity, C64L8");
+  Table assoc({"kernel", "SA1", "SA2", "SA4", "SA8"});
+  for (const Kernel& k : kernels) {
+    std::vector<std::string> row{k.name};
+    for (const std::uint32_t s : {1u, 2u, 4u, 8u}) {
+      row.push_back(fmtSig3(ex.evaluate(k, dm(64, 8, s)).energyNj));
+    }
+    assoc.addRow(std::move(row));
+  }
+  std::cout << assoc;
+}
+
+void BM_AssocEvaluate(benchmark::State& state) {
+  const Explorer ex(paperOptions());
+  const Kernel k = compressKernel();
+  const auto s = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.evaluate(k, dm(64, 8, s)));
+  }
+}
+BENCHMARK(BM_AssocEvaluate)->Arg(1)->Arg(8);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,56 @@
+// Figure 8: miss rate, number of cycles and energy vs set associativity
+// (1, 2, 4, 8) at C64L8, tiling size 1, Em = 4.95 nJ — plus the
+// Section-4.3 counterpoint that at C1024L32 the benefit disappears.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printGrid(const Explorer& ex, const CacheConfig& base) {
+  const std::vector<Kernel> kernels = paperBenchmarks();
+  for (const char* metric : {"miss rate", "cycles", "energy (nJ)"}) {
+    Table t({"kernel", "SA1", "SA2", "SA4", "SA8"});
+    for (const Kernel& k : kernels) {
+      std::vector<std::string> row{k.name};
+      for (const std::uint32_t s : {1u, 2u, 4u, 8u}) {
+        CacheConfig c = base;
+        c.associativity = s;
+        const DesignPoint p = ex.evaluate(k, c);
+        if (std::string(metric) == "miss rate") {
+          row.push_back(fmtFixed(p.missRate, 3));
+        } else if (std::string(metric) == "cycles") {
+          row.push_back(fmtSig3(p.cycles));
+        } else {
+          row.push_back(fmtSig3(p.energyNj));
+        }
+      }
+      t.addRow(std::move(row));
+    }
+    std::cout << metric << ":\n" << t << '\n';
+  }
+}
+
+void printFigure() {
+  const Explorer ex(paperOptions());
+  section("Figure 8: metrics vs set associativity, C64L8, tiling 1");
+  printGrid(ex, dm(64, 8));
+  section(
+      "Section 4.3 counterpoint: C1024L32 — cycles/energy no longer "
+      "necessarily improve");
+  printGrid(ex, dm(1024, 32));
+}
+
+void BM_EightWaySimulation(benchmark::State& state) {
+  const Explorer ex(paperOptions());
+  const Kernel k = pdeKernel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.evaluate(k, dm(64, 8, 8)));
+  }
+}
+BENCHMARK(BM_EightWaySimulation);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

@@ -1,0 +1,55 @@
+// Section 3: the analytical minimum cache size. For each kernel and line
+// size, the number of cache lines needed to avoid intra-class conflicts
+// (Compress: 2 classes x 2 lines = 4 lines, minimum cache = 4L).
+#include "bench_util.hpp"
+
+#include "memx/kernels/mpeg_kernels.hpp"
+#include "memx/loopir/ref_classes.hpp"
+
+namespace {
+
+using namespace memx;
+using namespace memx::bench;
+
+void printFigure() {
+  section("Section 3: reference classes and minimum cache size");
+  std::vector<Kernel> kernels = paperBenchmarks();
+  kernels.push_back(transposeKernel(32));
+  kernels.push_back(mpegVldKernel());
+
+  Table t({"kernel", "classes", "cases", "indirect", "min lines (L=4)",
+           "min size (L=4)", "min lines (L=16)", "min size (L=16)"});
+  for (const Kernel& k : kernels) {
+    const RefAnalysis a = analyzeReferences(k);
+    t.addRow({k.name, std::to_string(a.groups.size()),
+              std::to_string(a.cases.size()),
+              std::to_string(a.indirectAccesses.size()),
+              std::to_string(minCacheLines(k, 4)),
+              std::to_string(minCacheSizeBytes(k, 4)),
+              std::to_string(minCacheLines(k, 16)),
+              std::to_string(minCacheSizeBytes(k, 16))});
+  }
+  std::cout << t;
+  std::cout << "\nCompress: 2 classes, 2 lines each => minimum cache "
+               "size 4L, exactly as\nthe paper derives in Section 3.\n";
+}
+
+void BM_ReferenceAnalysis(benchmark::State& state) {
+  const Kernel k = sorKernel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzeReferences(k));
+  }
+}
+BENCHMARK(BM_ReferenceAnalysis);
+
+void BM_MinCacheLines(benchmark::State& state) {
+  const Kernel k = compressKernel();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(minCacheLines(k, 8));
+  }
+}
+BENCHMARK(BM_MinCacheLines);
+
+}  // namespace
+
+MEMX_BENCH_MAIN(printFigure)

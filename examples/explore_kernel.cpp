@@ -1,0 +1,83 @@
+// Full MemExplore sweep over any of the built-in benchmark kernels,
+// including set associativity and tiling, printing the complete
+// design-space table (CSV to stdout with --csv).
+//
+// Usage: explore_kernel [compress|matmul|pde|sor|dequant|transpose] [--csv]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "memx/core/explorer.hpp"
+#include "memx/core/selection.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/report/table.hpp"
+
+namespace {
+
+memx::Kernel kernelByName(const std::string& name) {
+  using namespace memx;
+  if (name == "compress") return compressKernel();
+  if (name == "matmul") return matMulKernel();
+  if (name == "pde") return pdeKernel();
+  if (name == "sor") return sorKernel();
+  if (name == "dequant") return dequantKernel();
+  if (name == "transpose") return transposeKernel();
+  throw std::invalid_argument("unknown kernel: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace memx;
+  std::string name = "compress";
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    } else {
+      name = argv[i];
+    }
+  }
+
+  Kernel kernel;
+  try {
+    kernel = kernelByName(name);
+  } catch (const std::exception& e) {
+    std::cerr << e.what()
+              << "\nusage: explore_kernel "
+                 "[compress|matmul|pde|sor|dequant|transpose] [--csv]\n";
+    return 1;
+  }
+
+  ExploreOptions options;
+  options.ranges.maxCacheBytes = 1024;
+  options.ranges.maxTiling = 16;
+  const Explorer explorer(options);
+  const ExplorationResult result = explorer.explore(kernel);
+
+  Table table({"config", "T", "L", "S", "B", "miss rate", "cycles",
+               "energy (nJ)"});
+  for (const DesignPoint& p : result.points) {
+    table.addRow({p.label(), std::to_string(p.key.cacheBytes),
+                  std::to_string(p.key.lineBytes),
+                  std::to_string(p.key.associativity),
+                  std::to_string(p.key.tiling), fmtFixed(p.missRate, 4),
+                  fmtSig3(p.cycles), fmtSig3(p.energyNj)});
+  }
+  if (csv) {
+    table.writeCsv(std::cout);
+  } else {
+    std::cout << "kernel " << kernel.name << ": " << result.points.size()
+              << " design points\n\n"
+              << table << '\n';
+    const auto minE = minEnergyPoint(result.points);
+    const auto minC = minCyclePoint(result.points);
+    std::cout << "min energy: " << minE->label() << " = "
+              << fmtSig3(minE->energyNj) << " nJ at "
+              << fmtSig3(minE->cycles) << " cycles\n"
+              << "min cycles: " << minC->label() << " = "
+              << fmtSig3(minC->cycles) << " cycles at "
+              << fmtSig3(minC->energyNj) << " nJ\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Demonstrates the Section-4.1 off-chip data assignment on the paper's
+// two worked examples (Compress row padding, Matrix-Add base staggering)
+// and quantifies the conflict misses it removes.
+#include <iostream>
+
+#include "memx/cachesim/miss_classifier.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/layout/offchip_assign.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/report/table.hpp"
+
+namespace {
+
+void show(const memx::Kernel& kernel, const memx::CacheConfig& cache) {
+  using namespace memx;
+  std::cout << "== " << kernel.name << " on " << cache.label() << " ==\n";
+
+  const AssignmentPlan plan = assignConflictFree(kernel, cache);
+  Table placement({"array", "base", "row pitch", "padding", "status"});
+  for (std::size_t a = 0; a < kernel.arrays.size(); ++a) {
+    const ArrayAssignment& asg = plan.arrays[a];
+    placement.addRow({kernel.arrays[a].name,
+                      std::to_string(asg.baseAddr),
+                      asg.rowPitchBytes ? std::to_string(asg.rowPitchBytes)
+                                        : "tight",
+                      std::to_string(asg.paddingBytes),
+                      asg.conflictFree ? "conflict-free" : "best-effort"});
+  }
+  std::cout << placement;
+
+  const MissBreakdown unopt =
+      classifyMisses(cache, generateTrace(kernel, sequentialLayout(kernel)));
+  const MissBreakdown opt =
+      classifyMisses(cache, generateTrace(kernel, plan.layout));
+  Table misses({"layout", "miss rate", "compulsory", "capacity",
+                "conflict"});
+  misses.addRow({"tight (unoptimized)", fmtFixed(unopt.missRate(), 4),
+                 std::to_string(unopt.compulsory),
+                 std::to_string(unopt.capacity),
+                 std::to_string(unopt.conflict)});
+  misses.addRow({"assigned (optimized)", fmtFixed(opt.missRate(), 4),
+                 std::to_string(opt.compulsory),
+                 std::to_string(opt.capacity),
+                 std::to_string(opt.conflict)});
+  std::cout << misses << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace memx;
+
+  // The paper's byte-granular Compress walkthrough: 8-byte cache with
+  // 2-byte lines; the assignment pads the row pitch from 32 to 36.
+  CacheConfig tiny;
+  tiny.sizeBytes = 8;
+  tiny.lineBytes = 2;
+  show(compressKernel(32, 1), tiny);
+
+  // The Matrix-Add example: three 6x6 byte arrays staggered into
+  // distinct line slots.
+  CacheConfig small;
+  small.sizeBytes = 16;
+  small.lineBytes = 2;
+  show(matrixAddKernel(6, 1), small);
+
+  // The exploration-sized variant: Compress with int elements.
+  CacheConfig c64;
+  c64.sizeBytes = 64;
+  c64.lineBytes = 8;
+  show(compressKernel(), c64);
+  show(dequantKernel(), c64);
+  return 0;
+}

@@ -1,0 +1,295 @@
+// memx_cli — command-line front end to the exploration library.
+//
+//   memx_cli explore <kernel> [--em <nJ>] [--no-layout] [--csv]
+//   memx_cli simulate <din-file> --cache <C..L..[S..]>
+//   memx_cli layout <kernel> --cache <C..L..>
+//   memx_cli icache <kernel>
+//   memx_cli workingset <kernel> [--line <bytes>]
+//   memx_cli spm <kernel> [--budget <bytes>] [--line <bytes>]
+//   memx_cli legality <kernel>
+//   memx_cli kernels
+//
+// Kernels: compress matmul matadd pde sor dequant transpose lu fir
+//          matvec histogram — or a path to a .mx kernel file (see
+//          examples/kernels/).
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memx/cachesim/miss_classifier.hpp"
+#include "memx/core/selection.hpp"
+#include "memx/core/trace_explorer.hpp"
+#include "memx/icache/ifetch_model.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/kernels/extra_kernels.hpp"
+#include "memx/layout/offchip_assign.hpp"
+#include "memx/loopir/kernel_parser.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/report/table.hpp"
+#include "memx/spm/spm_explorer.hpp"
+#include "memx/trace/din_io.hpp"
+#include "memx/trace/working_set.hpp"
+#include "memx/xform/dependence.hpp"
+
+namespace {
+
+using namespace memx;
+
+const std::vector<std::string> kKernelNames = {
+    "compress", "matmul", "matadd",    "pde", "sor", "dequant",
+    "transpose", "lu",    "fir", "matvec", "histogram"};
+
+Kernel kernelByName(const std::string& name) {
+  // A path (contains '/' or ends in .mx) is parsed as a kernel file.
+  if (name.find('/') != std::string::npos ||
+      (name.size() > 3 && name.substr(name.size() - 3) == ".mx")) {
+    std::ifstream file(name);
+    if (!file) throw std::invalid_argument("cannot open " + name);
+    return parseKernel(file, name);
+  }
+  if (name == "compress") return compressKernel();
+  if (name == "matmul") return matMulKernel();
+  if (name == "matadd") return matrixAddKernel(6, 1);
+  if (name == "pde") return pdeKernel();
+  if (name == "sor") return sorKernel();
+  if (name == "dequant") return dequantKernel();
+  if (name == "transpose") return transposeKernel();
+  if (name == "lu") return luKernel();
+  if (name == "fir") return firKernel();
+  if (name == "matvec") return matVecKernel();
+  if (name == "histogram") return histogramKernel();
+  throw std::invalid_argument("unknown kernel '" + name +
+                              "'; try: memx_cli kernels");
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  double em = 4.95;
+  bool noLayout = false;
+  bool csv = false;
+  std::optional<std::string> cacheLabel;
+  std::uint32_t lineBytes = 8;
+};
+
+Args parseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for " + arg);
+      }
+      return argv[++i];
+    };
+    if (arg == "--em") {
+      args.em = std::stod(value());
+    } else if (arg == "--no-layout") {
+      args.noLayout = true;
+    } else if (arg == "--csv") {
+      args.csv = true;
+    } else if (arg == "--cache") {
+      args.cacheLabel = value();
+    } else if (arg == "--line") {
+      args.lineBytes = static_cast<std::uint32_t>(std::stoul(value()));
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+void emitResult(const ExplorationResult& result, bool csv) {
+  Table t({"config", "miss rate", "cycles", "energy (nJ)"});
+  for (const DesignPoint& p : result.points) {
+    t.addRow({p.label(), fmtFixed(p.missRate, 4), fmtSig3(p.cycles),
+              fmtSig3(p.energyNj)});
+  }
+  if (csv) {
+    t.writeCsv(std::cout);
+    return;
+  }
+  std::cout << t;
+  const auto minE = minEnergyPoint(result.points);
+  const auto minC = minCyclePoint(result.points);
+  std::cout << "\nmin energy: " << minE->label() << " ("
+            << fmtSig3(minE->energyNj) << " nJ)\n"
+            << "min cycles: " << minC->label() << " ("
+            << fmtSig3(minC->cycles) << ")\n";
+}
+
+int cmdExplore(const Args& args) {
+  const Kernel kernel = kernelByName(args.positional.at(1));
+  ExploreOptions options;
+  options.energy.emNj = args.em;
+  options.optimizeLayout = !args.noLayout;
+  const Explorer explorer(options);
+  emitResult(explorer.explore(kernel), args.csv);
+  return 0;
+}
+
+int cmdSimulate(const Args& args) {
+  if (!args.cacheLabel) {
+    throw std::invalid_argument("simulate requires --cache <label>");
+  }
+  std::ifstream file(args.positional.at(1));
+  if (!file) {
+    throw std::invalid_argument("cannot open " + args.positional.at(1));
+  }
+  const Trace trace = readDin(file);
+  const CacheConfig cache = parseCacheLabel(*args.cacheLabel);
+  ExploreOptions options;
+  options.energy.emNj = args.em;
+  const DesignPoint p = evaluateTracePoint(trace, cache, options);
+  std::cout << "trace: " << trace.size() << " references\n"
+            << "cache: " << cache.label() << "\n"
+            << "miss rate: " << fmtFixed(p.missRate, 4) << "\n"
+            << "cycles: " << fmtSig3(p.cycles) << "\n"
+            << "energy: " << fmtSig3(p.energyNj) << " nJ\n";
+  return 0;
+}
+
+int cmdLayout(const Args& args) {
+  const Kernel kernel = kernelByName(args.positional.at(1));
+  const CacheConfig cache =
+      parseCacheLabel(args.cacheLabel.value_or("C64L8"));
+  const AssignmentPlan plan = assignConflictFree(kernel, cache);
+  Table t({"array", "base", "row pitch", "padding", "status"});
+  for (std::size_t a = 0; a < kernel.arrays.size(); ++a) {
+    t.addRow({kernel.arrays[a].name,
+              std::to_string(plan.arrays[a].baseAddr),
+              plan.arrays[a].rowPitchBytes
+                  ? std::to_string(plan.arrays[a].rowPitchBytes)
+                  : "tight",
+              std::to_string(plan.arrays[a].paddingBytes),
+              plan.arrays[a].conflictFree ? "conflict-free"
+                                          : "best-effort"});
+  }
+  std::cout << t;
+  const MissBreakdown unopt = classifyMisses(
+      cache, generateTrace(kernel, sequentialLayout(kernel)));
+  const MissBreakdown opt =
+      classifyMisses(cache, generateTrace(kernel, plan.layout));
+  std::cout << "\nmiss rate: " << fmtFixed(unopt.missRate(), 4)
+            << " (tight) -> " << fmtFixed(opt.missRate(), 4)
+            << " (assigned); conflicts " << unopt.conflict << " -> "
+            << opt.conflict << '\n';
+  return 0;
+}
+
+int cmdIcache(const Args& args) {
+  const Kernel kernel = kernelByName(args.positional.at(1));
+  const InstructionLayout layout;
+  const Trace fetches = generateIFetchTrace(kernel, layout);
+  ExploreOptions options;
+  options.ranges.minCacheBytes = 32;
+  options.ranges.maxAssociativity = 2;
+  emitResult(exploreTrace("icache-" + kernel.name, fetches, options),
+             args.csv);
+  return 0;
+}
+
+int cmdWorkingSet(const Args& args) {
+  const Kernel kernel = kernelByName(args.positional.at(1));
+  const ReuseProfile profile(generateTrace(kernel), args.lineBytes);
+  Table t({"lines", "predicted fully-assoc miss rate"});
+  for (std::uint64_t lines = 1; lines <= profile.uniqueLines();
+       lines *= 2) {
+    t.addRow({std::to_string(lines),
+              fmtFixed(profile.predictedMissRate(lines), 4)});
+  }
+  std::cout << t << "\n90%-hit working set: "
+            << profile.linesForHitRate(0.9) << " lines of "
+            << args.lineBytes << " bytes\n";
+  return 0;
+}
+
+int cmdSpm(const Args& args) {
+  const Kernel kernel = kernelByName(args.positional.at(1));
+  const std::uint32_t budget = args.cacheLabel
+                                   ? parseCacheLabel(*args.cacheLabel)
+                                         .sizeBytes
+                                   : 512;
+  Table t({"split", "SPM arrays", "cache miss rate", "cycles",
+           "energy (nJ)"});
+  for (const SplitResult& r :
+       exploreBudgetSplits(kernel, budget, args.lineBytes)) {
+    std::string arrays;
+    for (const std::string& a : r.spmArrays) {
+      if (!arrays.empty()) arrays += ",";
+      arrays += a;
+    }
+    t.addRow({r.label(), arrays.empty() ? "-" : arrays,
+              fmtFixed(r.cacheMissRate, 4), fmtSig3(r.cycles),
+              fmtSig3(r.energyNj)});
+  }
+  std::cout << t;
+  return 0;
+}
+
+int cmdLegality(const Args& args) {
+  const Kernel kernel = kernelByName(args.positional.at(1));
+  Table t({"transform", "legal"});
+  if (kernel.nest.depth() >= 2) {
+    t.addRow({"tile2D", tilingIsLegal(kernel) ? "yes" : "no"});
+    t.addRow({"interchange(0,1)",
+              interchangeIsLegal(kernel, 0, 1) ? "yes" : "no"});
+  } else {
+    t.addRow({"tile2D", "n/a (1-deep nest)"});
+  }
+  std::cout << t;
+  Table deps({"kind", "src", "dst", "distance"});
+  for (const Dependence& d : computeDependences(kernel)) {
+    std::string dist = "(";
+    for (std::size_t i = 0; i < d.distance.size(); ++i) {
+      if (i) dist += ",";
+      dist += d.distance[i].known()
+                  ? std::to_string(*d.distance[i].value)
+                  : std::string("*");
+    }
+    dist += ")";
+    deps.addRow({toString(d.kind), std::to_string(d.srcAccess),
+                 std::to_string(d.dstAccess), dist});
+  }
+  std::cout << "\ndependences:\n" << deps;
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const Args args = parseArgs(argc, argv);
+  if (args.positional.empty()) {
+    std::cerr << "usage: memx_cli "
+                 "<explore|simulate|layout|icache|workingset|spm|"
+                 "legality|kernels> "
+                 "...\n";
+    return 2;
+  }
+  const std::string& cmd = args.positional.front();
+  if (cmd == "kernels") {
+    for (const std::string& k : kKernelNames) std::cout << k << '\n';
+    return 0;
+  }
+  if (args.positional.size() < 2) {
+    throw std::invalid_argument(cmd + " requires an argument");
+  }
+  if (cmd == "explore") return cmdExplore(args);
+  if (cmd == "spm") return cmdSpm(args);
+  if (cmd == "legality") return cmdLegality(args);
+  if (cmd == "simulate") return cmdSimulate(args);
+  if (cmd == "layout") return cmdLayout(args);
+  if (cmd == "icache") return cmdIcache(args);
+  if (cmd == "workingset") return cmdWorkingSet(args);
+  throw std::invalid_argument("unknown command '" + cmd + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "memx_cli: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,55 @@
+// Quickstart: explore the data-cache design space of one kernel and pick
+// the minimum-energy configuration under a cycle bound.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "memx/core/explorer.hpp"
+#include "memx/core/selection.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/report/table.hpp"
+
+int main() {
+  using namespace memx;
+
+  // 1. A workload: the paper's Compress kernel (31x31 stencil).
+  const Kernel kernel = compressKernel();
+  std::cout << "workload: " << kernel.name << ", "
+            << kernel.referenceCount() << " references\n\n";
+
+  // 2. Sweep cache size 16..512, line size 4..64 (direct-mapped,
+  //    untiled) with the paper's energy/cycle models.
+  ExploreOptions options;
+  options.ranges.minCacheBytes = 16;
+  options.ranges.maxCacheBytes = 512;
+  options.ranges.minLineBytes = 4;
+  options.ranges.maxLineBytes = 64;
+  options.ranges.sweepAssociativity = false;
+  options.ranges.sweepTiling = false;
+  const Explorer explorer(options);
+  const ExplorationResult result = explorer.explore(kernel);
+
+  // 3. Print the Pareto frontier of the energy-time trade-off.
+  Table table({"config", "miss rate", "cycles", "energy (nJ)"});
+  for (const DesignPoint& p : paretoFront(result.points)) {
+    table.addRow({p.label(), fmtFixed(p.missRate, 3), fmtSig3(p.cycles),
+                  fmtSig3(p.energyNj)});
+  }
+  std::cout << "energy-time Pareto frontier:\n" << table << '\n';
+
+  // 4. Bounded selection, exactly like the paper's Figure 4 walkthrough.
+  const auto minEnergy = minEnergyPoint(result.points);
+  const auto minCycles = minCyclePoint(result.points);
+  std::cout << "min-energy config: " << minEnergy->label() << " ("
+            << fmtSig3(minEnergy->energyNj) << " nJ)\n";
+  std::cout << "min-cycles config: " << minCycles->label() << " ("
+            << fmtSig3(minCycles->cycles) << " cycles)\n";
+
+  const double bound = 1.5 * minCycles->cycles;
+  const auto bounded = minEnergyPoint(result.points, bound);
+  std::cout << "min-energy config with cycles <= " << fmtSig3(bound)
+            << ": " << bounded->label() << '\n';
+  return 0;
+}

@@ -1,0 +1,69 @@
+// reproduce_paper — regenerate every exploration the paper's figures are
+// built from and archive them as CSV files (one per workload), plus a
+// JSON dump of the MPEG composite, into an output directory.
+//
+// Usage: reproduce_paper [output-dir]   (default: ./paper_results)
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "memx/core/selection.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/mpeg/composite.hpp"
+#include "memx/report/result_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memx;
+  namespace fs = std::filesystem;
+
+  const fs::path outDir = argc > 1 ? argv[1] : "paper_results";
+  fs::create_directories(outDir);
+
+  ExploreOptions options;
+  options.ranges.maxCacheBytes = 1024;
+  options.ranges.maxTiling = 16;
+  const Explorer explorer(options);
+
+  // The five benchmark sweeps behind Figures 1-9.
+  for (const Kernel& kernel : paperBenchmarks()) {
+    const ExplorationResult result = explorer.explore(kernel);
+    const fs::path file = outDir / (kernel.name + ".csv");
+    std::ofstream os(file);
+    writeResultCsv(os, result);
+    const auto minE = minEnergyPoint(result.points);
+    const auto minC = minCyclePoint(result.points);
+    std::cout << kernel.name << ": " << result.points.size()
+              << " points -> " << file.string()
+              << "  (min energy " << minE->label() << ", min cycles "
+              << minC->label() << ")\n";
+  }
+
+  // The Section-5 MPEG composite behind Figure 10.
+  ExploreOptions mpegOptions = options;
+  mpegOptions.ranges.maxCacheBytes = 512;
+  mpegOptions.ranges.maxLineBytes = 16;
+  const Explorer mpegExplorer(mpegOptions);
+  const CompositeProgram decoder = mpegDecoder();
+  const CompositeProgram::Result mpeg = decoder.explore(mpegExplorer);
+  {
+    std::ofstream os(outDir / "mpeg_combined.csv");
+    writeResultCsv(os, mpeg.combined);
+  }
+  {
+    std::ofstream os(outDir / "mpeg_combined.json");
+    writeResultJson(os, mpeg.combined);
+  }
+  for (const ExplorationResult& r : mpeg.perKernel) {
+    std::ofstream os(outDir / ("mpeg_" + r.workload + ".csv"));
+    writeResultCsv(os, r);
+  }
+  const auto minE = minEnergyPoint(mpeg.combined.points);
+  const auto minC = minCyclePoint(mpeg.combined.points);
+  std::cout << "mpeg-decoder: min energy " << minE->label()
+            << ", min cycles " << minC->label() << " -> "
+            << (outDir / "mpeg_combined.csv").string() << '\n';
+
+  std::cout << "\nAll sweeps archived under " << outDir.string()
+            << " — diff two runs to spot regressions.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "memx/cachesim/bus_monitor.hpp"
+
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+void BusMonitor::observe(const MemRef& ref) {
+  const std::uint64_t bus = encoding_ == AddressEncoding::Gray
+                                ? grayEncode(ref.addr)
+                                : ref.addr;
+  if (primed_) {
+    stats_.addrBitSwitches += hammingDistance(lastBusValue_, bus);
+  }
+  lastBusValue_ = bus;
+  primed_ = true;
+  ++stats_.accesses;
+}
+
+void BusMonitor::observe(const Trace& trace) {
+  for (const MemRef& ref : trace) observe(ref);
+}
+
+double measureAddrActivity(const Trace& trace, AddressEncoding encoding) {
+  BusMonitor monitor(encoding);
+  monitor.observe(trace);
+  return monitor.stats().addrSwitchesPerAccess();
+}
+
+}  // namespace memx

@@ -1,0 +1,216 @@
+#include "memx/cachesim/cache_sim.hpp"
+
+#include <algorithm>
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+CacheSim::CacheSim(const CacheConfig& config, std::uint64_t rngSeed)
+    : config_(config), rng_(rngSeed) {
+  config_.validate();
+  lines_.resize(static_cast<std::size_t>(config_.numSets()) *
+                config_.associativity);
+  plruBits_.assign(config_.numSets(), 0);
+}
+
+void CacheSim::plruTouch(std::uint32_t setIndex, std::size_t way) {
+  if (config_.associativity < 2) return;
+  std::uint32_t& bits = plruBits_[setIndex];
+  std::size_t node = 0;
+  std::size_t lo = 0;
+  std::size_t hi = config_.associativity;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (way < mid) {
+      bits |= (1u << node);  // point right, away from the touched way
+      node = 2 * node + 1;
+      hi = mid;
+    } else {
+      bits &= ~(1u << node);  // point left
+      node = 2 * node + 2;
+      lo = mid;
+    }
+  }
+}
+
+std::size_t CacheSim::plruVictim(std::uint32_t setIndex) const {
+  if (config_.associativity < 2) return 0;
+  const std::uint32_t bits = plruBits_[setIndex];
+  std::size_t node = 0;
+  std::size_t lo = 0;
+  std::size_t hi = config_.associativity;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (bits & (1u << node)) {  // points right
+      node = 2 * node + 2;
+      lo = mid;
+    } else {
+      node = 2 * node + 1;
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::uint32_t CacheSim::setIndexOf(std::uint64_t addr) const noexcept {
+  return static_cast<std::uint32_t>((addr / config_.lineBytes) %
+                                    config_.numSets());
+}
+
+std::uint64_t CacheSim::tagOf(std::uint64_t addr) const noexcept {
+  return addr / config_.lineBytes / config_.numSets();
+}
+
+bool CacheSim::contains(std::uint64_t addr) const {
+  const std::uint32_t set = setIndexOf(addr);
+  const std::uint64_t tag = tagOf(addr);
+  const std::size_t base =
+      static_cast<std::size_t>(set) * config_.associativity;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    const Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) return true;
+  }
+  return false;
+}
+
+std::size_t CacheSim::validLineCount() const {
+  return static_cast<std::size_t>(
+      std::count_if(lines_.begin(), lines_.end(),
+                    [](const Line& l) { return l.valid; }));
+}
+
+std::size_t CacheSim::victimWay(std::uint32_t setIndex) {
+  const std::size_t base =
+      static_cast<std::size_t>(setIndex) * config_.associativity;
+  // Prefer an invalid way.
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    if (!lines_[base + w].valid) return w;
+  }
+  switch (config_.replacement) {
+    case ReplacementPolicy::LRU: {
+      std::size_t best = 0;
+      for (std::size_t w = 1; w < config_.associativity; ++w) {
+        if (lines_[base + w].lastUse < lines_[base + best].lastUse) best = w;
+      }
+      return best;
+    }
+    case ReplacementPolicy::FIFO: {
+      std::size_t best = 0;
+      for (std::size_t w = 1; w < config_.associativity; ++w) {
+        if (lines_[base + w].filledAt < lines_[base + best].filledAt)
+          best = w;
+      }
+      return best;
+    }
+    case ReplacementPolicy::Random: {
+      std::uniform_int_distribution<std::size_t> dist(
+          0, config_.associativity - 1);
+      return dist(rng_);
+    }
+    case ReplacementPolicy::TreePLRU:
+      return plruVictim(setIndex);
+  }
+  return 0;
+}
+
+bool CacheSim::probeLine(std::uint64_t lineAddr, AccessType type,
+                         AccessOutcome& outcome) {
+  const std::uint32_t set = setIndexOf(lineAddr);
+  const std::uint64_t tag = tagOf(lineAddr);
+  const std::size_t base =
+      static_cast<std::size_t>(set) * config_.associativity;
+  ++clock_;
+
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    Line& line = lines_[base + w];
+    if (line.valid && line.tag == tag) {
+      line.lastUse = clock_;
+      plruTouch(set, w);
+      if (type == AccessType::Write) {
+        if (config_.writePolicy == WritePolicy::WriteBack) {
+          line.dirty = true;
+        } else {
+          ++stats_.memWrites;
+        }
+      }
+      return true;
+    }
+  }
+
+  // Miss.
+  const bool allocate = type == AccessType::Read ||
+                        config_.allocatePolicy == AllocatePolicy::WriteAllocate;
+  if (!allocate) {
+    ++stats_.memWrites;  // write straight around the cache
+    return false;
+  }
+
+  const std::size_t w = victimWay(set);
+  Line& victim = lines_[base + w];
+  if (victim.valid && victim.dirty) {
+    ++stats_.writebacks;
+    ++outcome.writebacks;
+    // Reconstruct the victim's byte address from tag and set index.
+    outcome.evictedDirtyLines.push_back(
+        (victim.tag * config_.numSets() + set) * config_.lineBytes);
+  }
+  victim.valid = true;
+  victim.tag = tag;
+  victim.lastUse = clock_;
+  victim.filledAt = clock_;
+  victim.dirty = false;
+  plruTouch(set, w);
+  ++stats_.lineFills;
+  ++outcome.fills;
+  if (type == AccessType::Write) {
+    if (config_.writePolicy == WritePolicy::WriteBack) {
+      victim.dirty = true;
+    } else {
+      ++stats_.memWrites;
+    }
+  }
+  return false;
+}
+
+AccessOutcome CacheSim::access(const MemRef& ref) {
+  MEMX_EXPECTS(ref.size > 0, "access size must be positive");
+  AccessOutcome outcome;
+  const std::uint64_t firstLine = ref.addr / config_.lineBytes;
+  const std::uint64_t lastLine =
+      (ref.addr + ref.size - 1) / config_.lineBytes;
+  bool allHit = true;
+  for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
+    allHit &= probeLine(line * config_.lineBytes, ref.type, outcome);
+  }
+  outcome.hit = allHit;
+
+  if (ref.type == AccessType::Read) {
+    ++stats_.reads;
+    allHit ? ++stats_.readHits : ++stats_.readMisses;
+  } else {
+    ++stats_.writes;
+    allHit ? ++stats_.writeHits : ++stats_.writeMisses;
+  }
+  return outcome;
+}
+
+void CacheSim::run(const Trace& trace) {
+  for (const MemRef& ref : trace) access(ref);
+}
+
+void CacheSim::reset() {
+  std::fill(lines_.begin(), lines_.end(), Line{});
+  std::fill(plruBits_.begin(), plruBits_.end(), 0u);
+  clock_ = 0;
+  stats_ = CacheStats{};
+}
+
+CacheStats simulateTrace(const CacheConfig& config, const Trace& trace) {
+  CacheSim sim(config);
+  sim.run(trace);
+  return sim.stats();
+}
+
+}  // namespace memx

@@ -1,0 +1,94 @@
+// Trace-driven set-associative cache simulator.
+//
+// This is the Dinero-class substrate the paper names as the alternative to
+// its closed-form expressions: a functional (contents-free) simulator that
+// tracks tags, dirtiness and replacement state, and reports hit/miss and
+// traffic counts for an arbitrary reference stream.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "memx/cachesim/cache_config.hpp"
+#include "memx/cachesim/cache_stats.hpp"
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Outcome of presenting one reference to the cache.
+struct AccessOutcome {
+  bool hit = true;           ///< whole access was a hit (all lines touched)
+  std::uint32_t fills = 0;   ///< line fills this access caused
+  std::uint32_t writebacks = 0;  ///< dirty evictions this access caused
+  /// Byte addresses of the dirty lines evicted by this access (size ==
+  /// writebacks); lets a next level absorb the write-back traffic.
+  std::vector<std::uint64_t> evictedDirtyLines;
+};
+
+/// A single-level data cache.
+///
+/// Accesses wider than a line, or straddling a line boundary, are split
+/// into per-line probes; the access counts as a miss if any probe misses.
+class CacheSim {
+public:
+  /// Constructs an empty (all-invalid) cache. Throws on invalid config.
+  explicit CacheSim(const CacheConfig& config, std::uint64_t rngSeed = 1);
+
+  /// Present one reference; updates state and statistics.
+  AccessOutcome access(const MemRef& ref);
+
+  /// Run a whole trace through the cache.
+  void run(const Trace& trace);
+
+  /// Drop all contents and statistics (configuration is kept).
+  void reset();
+
+  [[nodiscard]] const CacheConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+  /// True when `addr`'s line is currently resident (no state change).
+  [[nodiscard]] bool contains(std::uint64_t addr) const;
+
+  /// Number of currently valid lines (test/debug aid).
+  [[nodiscard]] std::size_t validLineCount() const;
+
+  /// Set index for a byte address under this geometry.
+  [[nodiscard]] std::uint32_t setIndexOf(std::uint64_t addr) const noexcept;
+  /// Tag for a byte address under this geometry.
+  [[nodiscard]] std::uint64_t tagOf(std::uint64_t addr) const noexcept;
+
+private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lastUse = 0;   ///< LRU stamp
+    std::uint64_t filledAt = 0;  ///< FIFO stamp
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  /// Probe one line-sized piece of an access. Returns true on hit.
+  bool probeLine(std::uint64_t lineAddr, AccessType type,
+                 AccessOutcome& outcome);
+  [[nodiscard]] std::size_t victimWay(std::uint32_t setIndex);
+
+  /// Point the set's PLRU tree away from the just-touched way.
+  void plruTouch(std::uint32_t setIndex, std::size_t way);
+  /// Way the set's PLRU tree currently points at.
+  [[nodiscard]] std::size_t plruVictim(std::uint32_t setIndex) const;
+
+  CacheConfig config_;
+  std::vector<Line> lines_;  ///< numSets * associativity, set-major
+  std::vector<std::uint32_t> plruBits_;  ///< one tree per set
+  std::uint64_t clock_ = 0;
+  CacheStats stats_;
+  std::mt19937_64 rng_;
+};
+
+/// Convenience: simulate `trace` on a fresh cache, return the statistics.
+[[nodiscard]] CacheStats simulateTrace(const CacheConfig& config,
+                                       const Trace& trace);
+
+}  // namespace memx

@@ -1,0 +1,54 @@
+#include "memx/cachesim/hierarchy.hpp"
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2)
+    : l1_(l1), l2_(l2) {
+  MEMX_EXPECTS(l2.lineBytes >= l1.lineBytes,
+               "L2 line size must be at least the L1 line size");
+  MEMX_EXPECTS(l2.sizeBytes >= l1.sizeBytes,
+               "L2 capacity must be at least the L1 capacity");
+}
+
+void CacheHierarchy::access(const MemRef& ref) {
+  const AccessOutcome l1Out = l1_.access(ref);
+
+  // Dirty L1 victims are absorbed by the (inclusive) L2.
+  for (const std::uint64_t victimAddr : l1Out.evictedDirtyLines) {
+    const MemRef writeback{victimAddr, l1_.config().lineBytes,
+                           AccessType::Write};
+    const AccessOutcome out = l2_.access(writeback);
+    stats_.mainWrites += out.writebacks;
+  }
+
+  if (!l1Out.hit) {
+    // Fetch the L1 line(s) through the L2.
+    const MemRef fill{ref.addr, ref.size, AccessType::Read};
+    const AccessOutcome l2Out = l2_.access(fill);
+    stats_.mainReads += l2Out.fills;
+    stats_.mainWrites += l2Out.writebacks;
+  }
+  stats_.l1 = l1_.stats();
+  stats_.l2 = l2_.stats();
+}
+
+void CacheHierarchy::run(const Trace& trace) {
+  for (const MemRef& ref : trace) access(ref);
+}
+
+void CacheHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  stats_ = HierarchyStats{};
+}
+
+double HierarchyTiming::cycles(const HierarchyStats& stats) const {
+  const double n = static_cast<double>(stats.l1.accesses());
+  const double l1Miss = static_cast<double>(stats.l1.misses());
+  const double l2Miss = static_cast<double>(stats.l2.misses());
+  return n * l1HitCycles + l1Miss * l2HitCycles + l2Miss * memCycles;
+}
+
+}  // namespace memx

@@ -1,0 +1,79 @@
+// Two-level cache hierarchy.
+//
+// The paper explores a single on-chip data cache against off-chip SRAM;
+// a natural extension (and a common embedded configuration by the early
+// 2000s) adds an L2 between them. This module simulates L1 -> L2 ->
+// main memory inclusively: L1 misses probe the L2, L2 misses fill both,
+// and dirty L1 victims are written back into the L2.
+#pragma once
+
+#include <cstdint>
+
+#include "memx/cachesim/cache_sim.hpp"
+
+namespace memx {
+
+/// Per-level and end-to-end statistics of a hierarchy run.
+struct HierarchyStats {
+  CacheStats l1;
+  CacheStats l2;
+  std::uint64_t mainReads = 0;   ///< line fills from main memory
+  std::uint64_t mainWrites = 0;  ///< dirty L2 evictions to main memory
+
+  /// Fraction of processor accesses that leave the chip.
+  [[nodiscard]] double globalMissRate() const noexcept {
+    const auto n = l1.accesses();
+    return n == 0 ? 0.0
+                  : static_cast<double>(l2.misses()) /
+                        static_cast<double>(n);
+  }
+  /// L2 hit rate among L1 misses (local miss rate complement).
+  [[nodiscard]] double l2LocalMissRate() const noexcept {
+    return l2.missRate();
+  }
+};
+
+/// An L1 + L2 data-cache stack. L2 line size must be >= L1 line size and
+/// L2 capacity >= L1 capacity (inclusive hierarchy).
+class CacheHierarchy {
+public:
+  /// Throws when either config is invalid or the inclusion constraints
+  /// are violated.
+  CacheHierarchy(const CacheConfig& l1, const CacheConfig& l2);
+
+  /// Present one processor reference.
+  void access(const MemRef& ref);
+
+  /// Run a whole trace.
+  void run(const Trace& trace);
+
+  /// Drop contents and statistics.
+  void reset();
+
+  [[nodiscard]] const HierarchyStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const CacheConfig& l1Config() const noexcept {
+    return l1_.config();
+  }
+  [[nodiscard]] const CacheConfig& l2Config() const noexcept {
+    return l2_.config();
+  }
+
+private:
+  CacheSim l1_;
+  CacheSim l2_;
+  HierarchyStats stats_;
+};
+
+/// Cycle model for a two-level stack: per-access cycles
+///   hit(L1) + missL1 * (l2HitCycles) + missL2 * (memCycles).
+struct HierarchyTiming {
+  double l1HitCycles = 1.0;
+  double l2HitCycles = 8.0;   ///< additional cycles on an L1 miss, L2 hit
+  double memCycles = 40.0;    ///< additional cycles on an L2 miss
+
+  [[nodiscard]] double cycles(const HierarchyStats& stats) const;
+};
+
+}  // namespace memx

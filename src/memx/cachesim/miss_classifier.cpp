@@ -1,0 +1,51 @@
+#include "memx/cachesim/miss_classifier.hpp"
+
+namespace memx {
+
+namespace {
+CacheConfig fullyAssociativeTwin(CacheConfig config) {
+  config.associativity = config.numLines();
+  config.replacement = ReplacementPolicy::LRU;
+  return config;
+}
+}  // namespace
+
+MissClassifier::MissClassifier(const CacheConfig& config)
+    : target_(config), fullyAssoc_(fullyAssociativeTwin(config)) {}
+
+void MissClassifier::access(const MemRef& ref) {
+  const AccessOutcome real = target_.access(ref);
+  const AccessOutcome shadow = fullyAssoc_.access(ref);
+
+  const std::uint64_t firstLine =
+      ref.addr / target_.config().lineBytes;
+  const std::uint64_t lastLine =
+      (ref.addr + ref.size - 1) / target_.config().lineBytes;
+  bool allSeen = true;
+  for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
+    allSeen &= !seenLines_.insert(line).second;
+  }
+
+  ++breakdown_.accesses;
+  if (real.hit) {
+    ++breakdown_.hits;
+  } else if (!allSeen) {
+    ++breakdown_.compulsory;
+  } else if (!shadow.hit) {
+    ++breakdown_.capacity;
+  } else {
+    ++breakdown_.conflict;
+  }
+}
+
+void MissClassifier::run(const Trace& trace) {
+  for (const MemRef& ref : trace) access(ref);
+}
+
+MissBreakdown classifyMisses(const CacheConfig& config, const Trace& trace) {
+  MissClassifier classifier(config);
+  classifier.run(trace);
+  return classifier.breakdown();
+}
+
+}  // namespace memx

@@ -1,0 +1,54 @@
+#include "memx/cachesim/prefetch.hpp"
+
+namespace memx {
+
+PrefetchingCache::PrefetchingCache(const CacheConfig& config,
+                                   PrefetchPolicy policy)
+    : cache_(config), policy_(policy) {}
+
+void PrefetchingCache::maybePrefetch(std::uint64_t lineAddr) {
+  const std::uint64_t nextLine = lineAddr + cache_.config().lineBytes;
+  if (cache_.contains(nextLine)) return;
+  // Fetch the next line; the probe is a guaranteed read miss whose
+  // demand-counter contribution stats() subtracts back out.
+  cache_.access(readRef(nextLine, 1));
+  ++prefetches_;
+  pendingTagged_.insert(nextLine / cache_.config().lineBytes);
+}
+
+void PrefetchingCache::access(const MemRef& ref) {
+  const std::uint64_t lineBytes = cache_.config().lineBytes;
+  const std::uint64_t line = ref.addr / lineBytes;
+
+  const bool wasPending = pendingTagged_.erase(line) > 0;
+  const AccessOutcome out = cache_.access(ref);
+  if (wasPending && out.hit) ++useful_;
+
+  switch (policy_) {
+    case PrefetchPolicy::None:
+      break;
+    case PrefetchPolicy::OnMiss:
+      if (!out.hit) maybePrefetch(line * lineBytes);
+      break;
+    case PrefetchPolicy::Tagged:
+      if (!out.hit || wasPending) maybePrefetch(line * lineBytes);
+      break;
+  }
+}
+
+void PrefetchingCache::run(const Trace& trace) {
+  for (const MemRef& ref : trace) access(ref);
+}
+
+PrefetchStats PrefetchingCache::stats() const {
+  PrefetchStats s;
+  s.demand = cache_.stats();
+  s.demand.reads -= prefetches_;
+  s.demand.readMisses -= prefetches_;
+  s.demand.lineFills -= prefetches_;
+  s.prefetches = prefetches_;
+  s.usefulPrefetches = useful_;
+  return s;
+}
+
+}  // namespace memx

@@ -1,0 +1,62 @@
+#include "memx/cachesim/set_sampling.hpp"
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+Trace sampleSets(const Trace& trace, std::uint32_t lineBytes,
+                 std::uint32_t numSets, std::uint32_t factor,
+                 std::uint32_t offset) {
+  MEMX_EXPECTS(isPow2(lineBytes), "line size must be a power of two");
+  MEMX_EXPECTS(isPow2(numSets), "set count must be a power of two");
+  MEMX_EXPECTS(isPow2(factor) && factor >= 1,
+               "sampling factor must be a power of two");
+  MEMX_EXPECTS(factor <= numSets, "cannot sample more than every set");
+  MEMX_EXPECTS(offset < factor, "offset must be below the factor");
+
+  Trace sampled;
+  for (const MemRef& ref : trace) {
+    const std::uint64_t set = (ref.addr / lineBytes) % numSets;
+    if (set % factor == offset) sampled.push(ref);
+  }
+  return sampled;
+}
+
+double estimateMissRateBySetSampling(const CacheConfig& config,
+                                     const Trace& trace,
+                                     std::uint32_t factor,
+                                     std::uint32_t offset) {
+  config.validate();
+  if (factor == 1) return simulateTrace(config, trace).missRate();
+  MEMX_EXPECTS(config.numSets() % factor == 0,
+               "factor must divide the set count");
+
+  const Trace sampled =
+      sampleSets(trace, config.lineBytes, config.numSets(), factor,
+                 offset);
+  if (sampled.empty()) return 0.0;
+
+  // The kept sets (offset, offset+factor, ...) become the sets of a
+  // cache 1/factor the size. Compress the set bits so set s of the full
+  // cache maps to set s/factor of the shrunk one while tags stay intact:
+  //   line = tag * numSets + s  ->  tag * (numSets/factor) + s/factor.
+  const std::uint32_t L = config.lineBytes;
+  const std::uint64_t sets = config.numSets();
+  const std::uint64_t shrunkSets = sets / factor;
+  Trace remapped;
+  for (const MemRef& ref : sampled) {
+    const std::uint64_t line = ref.addr / L;
+    const std::uint64_t tag = line / sets;
+    const std::uint64_t set = line % sets;
+    const std::uint64_t newLine = tag * shrunkSets + set / factor;
+    remapped.push(MemRef{newLine * L + ref.addr % L, ref.size, ref.type});
+  }
+
+  CacheConfig shrunk = config;
+  shrunk.sizeBytes = config.sizeBytes / factor;
+  return simulateTrace(shrunk, remapped).missRate();
+}
+
+}  // namespace memx

@@ -1,0 +1,28 @@
+// Trace sampling for fast approximate simulation.
+//
+// Set sampling (Puzak): simulate only the references that map to one in
+// `factor` cache sets, against a cache shrunk by the same factor. The
+// sampled miss rate estimates the full one at ~1/factor of the work —
+// the standard trick for industrial-size traces.
+#pragma once
+
+#include <cstdint>
+
+#include "memx/cachesim/cache_config.hpp"
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Keep only references whose set index under (lineBytes, numSets)
+/// satisfies set % factor == offset.
+[[nodiscard]] Trace sampleSets(const Trace& trace, std::uint32_t lineBytes,
+                               std::uint32_t numSets, std::uint32_t factor,
+                               std::uint32_t offset = 0);
+
+/// Estimate `config`'s miss rate from a 1-in-`factor` set sample.
+/// `factor` must be a power of two dividing the set count.
+[[nodiscard]] double estimateMissRateBySetSampling(
+    const CacheConfig& config, const Trace& trace, std::uint32_t factor,
+    std::uint32_t offset = 0);
+
+}  // namespace memx

@@ -1,0 +1,94 @@
+#include "memx/cachesim/victim_cache.hpp"
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+VictimCache::VictimCache(const CacheConfig& config,
+                         std::uint32_t victimEntries)
+    : config_(config) {
+  config_.validate();
+  MEMX_EXPECTS(config_.associativity == 1,
+               "victim caches extend direct-mapped caches");
+  MEMX_EXPECTS(victimEntries >= 1,
+               "victim buffer needs at least one entry");
+  lines_.resize(config_.numLines());
+  victim_.resize(victimEntries);
+}
+
+void VictimCache::probeLine(std::uint64_t lineAddr, AccessType type) {
+  ++clock_;
+  const std::uint64_t lineIndex = lineAddr / config_.lineBytes;
+  const std::uint32_t set =
+      static_cast<std::uint32_t>(lineIndex % config_.numLines());
+  const std::uint64_t tag = lineIndex / config_.numLines();
+
+  const bool isRead = type == AccessType::Read;
+  isRead ? ++stats_.main.reads : ++stats_.main.writes;
+
+  MainLine& line = lines_[set];
+  if (line.valid && line.tag == tag) {
+    isRead ? ++stats_.main.readHits : ++stats_.main.writeHits;
+    return;
+  }
+  isRead ? ++stats_.main.readMisses : ++stats_.main.writeMisses;
+
+  // Probe the victim buffer.
+  const std::uint64_t alignedAddr = lineIndex * config_.lineBytes;
+  for (VictimLine& v : victim_) {
+    if (v.valid && v.lineAddr == alignedAddr) {
+      // Swap: rescued line moves into the main cache; the displaced
+      // main line takes the buffer slot.
+      ++stats_.victimHits;
+      const bool hadLine = line.valid;
+      const std::uint64_t displaced =
+          (line.tag * config_.numLines() + set) * config_.lineBytes;
+      line.valid = true;
+      line.tag = tag;
+      if (hadLine) {
+        v.lineAddr = displaced;
+        v.lastUse = clock_;
+      } else {
+        v.valid = false;
+      }
+      return;
+    }
+  }
+
+  // Miss everywhere: fetch from memory, push the displaced line into
+  // the buffer (LRU slot).
+  ++stats_.victimMisses;
+  ++stats_.main.lineFills;
+  if (line.valid) {
+    VictimLine* lru = &victim_.front();
+    for (VictimLine& v : victim_) {
+      if (!v.valid) {
+        lru = &v;
+        break;
+      }
+      if (v.lastUse < lru->lastUse) lru = &v;
+    }
+    lru->valid = true;
+    lru->lineAddr =
+        (line.tag * config_.numLines() + set) * config_.lineBytes;
+    lru->lastUse = clock_;
+  }
+  line.valid = true;
+  line.tag = tag;
+}
+
+void VictimCache::access(const MemRef& ref) {
+  MEMX_EXPECTS(ref.size > 0, "access size must be positive");
+  const std::uint64_t firstLine = ref.addr / config_.lineBytes;
+  const std::uint64_t lastLine =
+      (ref.addr + ref.size - 1) / config_.lineBytes;
+  for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
+    probeLine(line * config_.lineBytes, ref.type);
+  }
+}
+
+void VictimCache::run(const Trace& trace) {
+  for (const MemRef& ref : trace) access(ref);
+}
+
+}  // namespace memx

@@ -1,0 +1,62 @@
+#include "memx/cachesim/write_buffer.hpp"
+
+#include <algorithm>
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+void WriteBufferConfig::validate() const {
+  MEMX_EXPECTS(entries >= 1, "write buffer needs at least one entry");
+  MEMX_EXPECTS(isPow2(lineBytes), "line size must be a power of two");
+  MEMX_EXPECTS(drainInterval >= 1, "drain interval must be positive");
+}
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+void WriteBuffer::tick() {
+  if (++sinceDrain_ >= config_.drainInterval && !queue_.empty()) {
+    queue_.pop_front();
+    ++stats_.memWrites;
+    sinceDrain_ = 0;
+  }
+}
+
+void WriteBuffer::observe(const MemRef& ref) {
+  tick();
+  if (ref.type != AccessType::Write) return;
+
+  ++stats_.writesSeen;
+  const std::uint64_t line = ref.addr / config_.lineBytes;
+  if (std::find(queue_.begin(), queue_.end(), line) != queue_.end()) {
+    ++stats_.merged;
+    return;
+  }
+  if (queue_.size() >= config_.entries) {
+    // Stall until the head drains.
+    stats_.stallCycles +=
+        config_.drainInterval - std::min<std::uint64_t>(
+                                    sinceDrain_, config_.drainInterval);
+    queue_.pop_front();
+    ++stats_.memWrites;
+    sinceDrain_ = 0;
+  }
+  queue_.push_back(line);
+}
+
+void WriteBuffer::run(const Trace& trace) {
+  for (const MemRef& ref : trace) observe(ref);
+  flush();
+}
+
+void WriteBuffer::flush() {
+  stats_.memWrites += queue_.size();
+  queue_.clear();
+  sinceDrain_ = 0;
+}
+
+}  // namespace memx

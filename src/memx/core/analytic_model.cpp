@@ -1,0 +1,64 @@
+#include "memx/core/analytic_model.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "memx/loopir/ref_classes.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+double analyticMissRate(const Kernel& kernel, const CacheConfig& cache,
+                        bool conflictFreeLayout) {
+  kernel.validate();
+  cache.validate();
+
+  const RefAnalysis analysis = analyzeReferences(kernel);
+  const std::int64_t step =
+      kernel.nest.depth() == 0
+          ? 1
+          : kernel.nest.loop(kernel.nest.depth() - 1).step;
+  const std::uint64_t iterations = kernel.nest.iterationCount();
+  const std::uint64_t totalAccesses = iterations * kernel.body.size();
+  if (totalAccesses == 0) return 0.0;
+
+  const std::uint64_t neededLines = minLiveLines(kernel, cache.lineBytes);
+  const bool conflictFree =
+      conflictFreeLayout && cache.numLines() >= neededLines;
+
+  double misses = 0.0;
+  for (const RefGroup& g : analysis.groups) {
+    const ArrayDecl& decl = kernel.arrays[g.arrayIndex];
+    const double lineElems =
+        static_cast<double>(cache.lineBytes) / decl.elemBytes;
+    const double stride =
+        static_cast<double>(std::abs(g.innerStrideElems) * step);
+    const double groupAccesses =
+        static_cast<double>(iterations * g.accessIndices.size());
+    if (!conflictFree) {
+      // Cross-class evictions defeat both spatial and temporal reuse:
+      // every reference of the class finds its line evicted (this is why
+      // the paper's unoptimized miss rates sit near 1).
+      misses += groupAccesses;
+      continue;
+    }
+    // Streaming model: one new line per lineElems/stride iterations.
+    const double newLineRate =
+        stride == 0.0 ? 0.0 : std::min(1.0, stride / lineElems);
+    misses += newLineRate * static_cast<double>(iterations);
+  }
+
+  // Indirect references: miss with the probability that a random element
+  // of the array is not resident.
+  for (const std::size_t idx : analysis.indirectAccesses) {
+    const ArrayDecl& decl = kernel.arrays[kernel.body[idx].arrayIndex];
+    const double arrayBytes = static_cast<double>(decl.sizeBytes());
+    const double resident = std::min(
+        1.0, static_cast<double>(cache.sizeBytes) / arrayBytes);
+    misses += (1.0 - resident) * static_cast<double>(iterations);
+  }
+
+  return std::min(1.0, misses / static_cast<double>(totalAccesses));
+}
+
+}  // namespace memx

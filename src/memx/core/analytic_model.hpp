@@ -1,0 +1,35 @@
+// Closed-form miss-rate estimation.
+//
+// The authors explicitly chose analytical expressions over a trace-driven
+// simulator ("We chose to do this rather than developing a trace driven
+// simulator that could be ported to Dinero", Section 4.1). This module is
+// that closed form, kept deliberately simple:
+//
+//  * each uniformly generated class is a streaming reference: it fetches a
+//    new line every lineElems/stride innermost iterations (pure spatial
+//    locality),
+//  * with a conflict-free layout and a cache of at least the Section-3
+//    minimum size, those streaming misses are the only misses,
+//  * with an unoptimized layout (or a cache below the minimum size),
+//    cross-class conflicts evict lines before reuse and the classes'
+//    accesses all miss,
+//  * indirect (data-dependent) references miss with probability
+//    1 - residentFraction of their array.
+//
+// The trace-driven Explorer is the reference; the ablation bench
+// `ablation_analytic_vs_sim` quantifies where this closed form deviates.
+#pragma once
+
+#include "memx/cachesim/cache_config.hpp"
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// Estimated miss rate of `kernel` under `cache`.
+/// `conflictFreeLayout` states whether the Section-4.1 assignment is
+/// assumed applied (the analytic model cannot see actual addresses).
+[[nodiscard]] double analyticMissRate(const Kernel& kernel,
+                                      const CacheConfig& cache,
+                                      bool conflictFreeLayout = true);
+
+}  // namespace memx

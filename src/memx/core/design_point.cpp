@@ -1,0 +1,23 @@
+#include "memx/core/design_point.hpp"
+
+#include <sstream>
+
+namespace memx {
+
+std::string ConfigKey::label() const {
+  std::ostringstream os;
+  os << 'C' << cacheBytes << 'L' << lineBytes;
+  if (associativity > 1) os << 'S' << associativity;
+  if (tiling > 1) os << 'B' << tiling;
+  return os.str();
+}
+
+CacheConfig DesignPoint::cacheConfig() const {
+  CacheConfig c;
+  c.sizeBytes = key.cacheBytes;
+  c.lineBytes = key.lineBytes;
+  c.associativity = key.associativity;
+  return c;
+}
+
+}  // namespace memx

@@ -1,0 +1,39 @@
+// One evaluated point of the MemExplore design space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "memx/cachesim/cache_config.hpp"
+
+namespace memx {
+
+/// The (T, L, S, B) coordinate of a design point.
+struct ConfigKey {
+  std::uint32_t cacheBytes = 0;   ///< T
+  std::uint32_t lineBytes = 0;    ///< L
+  std::uint32_t associativity = 1;  ///< S
+  std::uint32_t tiling = 1;       ///< B
+
+  [[nodiscard]] friend auto operator<=>(const ConfigKey&,
+                                        const ConfigKey&) = default;
+
+  /// "C64L8S2B4" (S/B omitted when 1).
+  [[nodiscard]] std::string label() const;
+};
+
+/// A fully evaluated cache configuration for one workload.
+struct DesignPoint {
+  ConfigKey key;
+  std::uint64_t accesses = 0;  ///< the paper's trip count
+  double missRate = 0.0;
+  double cycles = 0.0;
+  double energyNj = 0.0;
+
+  [[nodiscard]] std::string label() const { return key.label(); }
+
+  /// CacheConfig view of the key (write/replacement policies default).
+  [[nodiscard]] CacheConfig cacheConfig() const;
+};
+
+}  // namespace memx

@@ -1,0 +1,149 @@
+#include "memx/core/explorer.hpp"
+
+#include <algorithm>
+
+#include "memx/cachesim/bus_monitor.hpp"
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/layout/offchip_assign.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+#include "memx/util/pow2_range.hpp"
+#include "memx/xform/tiling.hpp"
+
+namespace memx {
+
+void ExploreRanges::validate() const {
+  MEMX_EXPECTS(isPow2(onChipBytes) && isPow2(minCacheBytes) &&
+                   isPow2(maxCacheBytes) && isPow2(minLineBytes) &&
+                   isPow2(maxLineBytes) && isPow2(maxAssociativity) &&
+                   isPow2(maxTiling),
+               "all sweep bounds must be powers of two");
+  MEMX_EXPECTS(minCacheBytes <= maxCacheBytes, "cache range inverted");
+  MEMX_EXPECTS(minLineBytes <= maxLineBytes, "line range inverted");
+  MEMX_EXPECTS(minLineBytes >= 4,
+               "the cycle model tabulates line sizes from 4 bytes");
+}
+
+const DesignPoint& ExplorationResult::at(const ConfigKey& key) const {
+  const DesignPoint* p = find(key);
+  MEMX_EXPECTS(p != nullptr,
+               "design point " + key.label() + " was not explored");
+  return *p;
+}
+
+const DesignPoint* ExplorationResult::find(
+    const ConfigKey& key) const noexcept {
+  const auto it =
+      std::find_if(points.begin(), points.end(),
+                   [&](const DesignPoint& p) { return p.key == key; });
+  return it == points.end() ? nullptr : &*it;
+}
+
+Explorer::Explorer(ExploreOptions options)
+    : options_(std::move(options)), cycleModel_(options_.timing) {
+  options_.ranges.validate();
+  options_.energy.validate();
+}
+
+const MemoryLayout& Explorer::layoutFor(const Kernel& kernel,
+                                        const CacheConfig& cache,
+                                        const Kernel* tiledProbe,
+                                        std::uint32_t tiling) const {
+  const std::string key =
+      kernel.name + '|' + cache.label() + "|B" + std::to_string(tiling);
+  const auto it = layoutCache_.find(key);
+  if (it != layoutCache_.end()) return it->second;
+  MemoryLayout layout =
+      options_.optimizeLayout
+          ? assignConflictFree(kernel, cache, 0, tiledProbe).layout
+          : sequentialLayout(kernel);
+  return layoutCache_.emplace(key, std::move(layout)).first->second;
+}
+
+DesignPoint Explorer::evaluate(const Kernel& kernel,
+                               const CacheConfig& cache,
+                               std::uint32_t tiling) const {
+  cache.validate();
+  MEMX_EXPECTS(tiling >= 1, "tiling size must be at least 1");
+
+  CacheConfig config = cache;
+  config.writePolicy = options_.writePolicy;
+  config.replacement = options_.replacement;
+
+  // The class analysis behind the Section-4.1 layout always runs on the
+  // untiled kernel, but candidate layouts are certified against the
+  // traversal that will actually execute (the tiled one when B > 1).
+  const bool tileable = tiling > 1 && kernel.nest.depth() >= 2;
+  std::optional<Kernel> tiled;
+  if (tileable) tiled = tile2D(kernel, tiling);
+
+  const MemoryLayout& layout =
+      layoutFor(kernel, config, tiled ? &*tiled : nullptr, tiling);
+
+  const Trace trace =
+      tiled ? generateTrace(*tiled, layout) : generateTrace(kernel, layout);
+
+  const CacheStats stats = simulateTrace(config, trace);
+  const double addBs = options_.measureBusActivity
+                           ? measureAddrActivity(trace)
+                           : kDefaultAddrSwitchesPerAccess;
+  const CacheEnergyModel energyModel(config, options_.energy, addBs);
+
+  DesignPoint point;
+  point.key = ConfigKey{config.sizeBytes, config.lineBytes,
+                        config.associativity, tiling};
+  point.accesses = stats.accesses();
+  point.missRate = stats.missRate();
+  point.cycles = cycleModel_.cycles(stats, config, tiling);
+  point.energyNj = options_.includeWriteEnergy
+                       ? energyModel.totalIncludingWritesNj(stats)
+                       : energyModel.totalNj(stats);
+  point.energyNj += energyModel.leakageNj(point.cycles);
+  return point;
+}
+
+std::vector<ConfigKey> Explorer::sweepKeys() const {
+  const ExploreRanges& r = options_.ranges;
+  std::vector<ConfigKey> keys;
+  const std::uint32_t maxCache =
+      std::min(r.maxCacheBytes, r.onChipBytes);
+  for (const std::uint64_t T : pow2Range(r.minCacheBytes, maxCache)) {
+    const std::uint64_t maxLine =
+        std::min<std::uint64_t>(r.maxLineBytes, T);
+    for (const std::uint64_t L : pow2Range(r.minLineBytes, maxLine)) {
+      const std::uint64_t lines = T / L;
+      const std::uint64_t maxS =
+          r.sweepAssociativity
+              ? std::min<std::uint64_t>(r.maxAssociativity, lines)
+              : 1;
+      for (const std::uint64_t S : pow2Range(1, maxS)) {
+        const std::uint64_t maxB =
+            r.sweepTiling ? std::min<std::uint64_t>(r.maxTiling, lines)
+                          : 1;
+        for (const std::uint64_t B : pow2Range(1, maxB)) {
+          keys.push_back(ConfigKey{static_cast<std::uint32_t>(T),
+                                   static_cast<std::uint32_t>(L),
+                                   static_cast<std::uint32_t>(S),
+                                   static_cast<std::uint32_t>(B)});
+        }
+      }
+    }
+  }
+  return keys;
+}
+
+ExplorationResult Explorer::explore(const Kernel& kernel) const {
+  ExplorationResult result;
+  result.workload = kernel.name;
+  for (const ConfigKey& key : sweepKeys()) {
+    CacheConfig cache;
+    cache.sizeBytes = key.cacheBytes;
+    cache.lineBytes = key.lineBytes;
+    cache.associativity = key.associativity;
+    result.points.push_back(evaluate(kernel, cache, key.tiling));
+  }
+  return result;
+}
+
+}  // namespace memx

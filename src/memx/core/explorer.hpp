@@ -1,0 +1,108 @@
+// The MemExplore algorithm (paper Section 1):
+//
+//   for on-chip memory size M (powers of 2)
+//     for cache size T <= M
+//       for line size L <= T
+//         for set associativity S <= 8
+//           for tiling size B <= T/L
+//             estimate cycles C and energy E
+//   select (T, L, S, B) maximizing performance under the given bounds.
+//
+// Every point is evaluated by trace-driven simulation of the (optionally
+// tiled) kernel under the chosen off-chip layout, then run through the
+// paper's cycle and energy models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memx/core/design_point.hpp"
+#include "memx/energy/energy_model.hpp"
+#include "memx/loopir/kernel.hpp"
+#include "memx/loopir/memory_layout.hpp"
+#include "memx/timing/cycle_model.hpp"
+
+namespace memx {
+
+/// Power-of-two sweep bounds of the MemExplore loops.
+struct ExploreRanges {
+  std::uint32_t onChipBytes = 1024;   ///< M: upper limit on cache size
+  std::uint32_t minCacheBytes = 16;   ///< smallest T
+  std::uint32_t maxCacheBytes = 1024; ///< largest T (clamped to M)
+  std::uint32_t minLineBytes = 4;     ///< smallest L
+  std::uint32_t maxLineBytes = 64;    ///< largest L (clamped to T)
+  std::uint32_t maxAssociativity = 8; ///< largest S (paper caps at 8)
+  std::uint32_t maxTiling = 16;       ///< largest B (clamped to T/L)
+  bool sweepAssociativity = true;     ///< false => direct-mapped only
+  bool sweepTiling = true;            ///< false => B = 1 only
+
+  void validate() const;
+};
+
+/// Everything that parameterizes an exploration run.
+struct ExploreOptions {
+  ExploreRanges ranges;
+  EnergyParams energy;
+  TimingParams timing;
+  /// Apply the Section-4.1 conflict-free off-chip assignment before
+  /// simulating (the paper's "optimized" rows); false = tight layout.
+  bool optimizeLayout = true;
+  /// Measure Add_bs from the generated trace (Gray-coded) instead of
+  /// using the analytic default of kDefaultAddrSwitchesPerAccess.
+  bool measureBusActivity = true;
+  /// Account write traffic in the energy metric (the paper's model is
+  /// read-only; see CacheEnergyModel::totalIncludingWritesNj).
+  bool includeWriteEnergy = false;
+  WritePolicy writePolicy = WritePolicy::WriteBack;
+  ReplacementPolicy replacement = ReplacementPolicy::LRU;
+};
+
+/// All evaluated points for one workload.
+struct ExplorationResult {
+  std::string workload;
+  std::vector<DesignPoint> points;
+
+  /// Point with the given key; throws when the sweep did not visit it.
+  [[nodiscard]] const DesignPoint& at(const ConfigKey& key) const;
+  /// Point with the given key, if visited.
+  [[nodiscard]] const DesignPoint* find(const ConfigKey& key) const noexcept;
+};
+
+/// Drives the sweep and evaluates individual design points.
+class Explorer {
+public:
+  explicit Explorer(ExploreOptions options = {});
+
+  /// Evaluate one (cache, tiling) point of `kernel` by simulation.
+  [[nodiscard]] DesignPoint evaluate(const Kernel& kernel,
+                                     const CacheConfig& cache,
+                                     std::uint32_t tiling = 1) const;
+
+  /// Run the full MemExplore sweep over `kernel`.
+  [[nodiscard]] ExplorationResult explore(const Kernel& kernel) const;
+
+  /// Every (T, L, S, B) coordinate the configured ranges visit.
+  [[nodiscard]] std::vector<ConfigKey> sweepKeys() const;
+
+  [[nodiscard]] const ExploreOptions& options() const noexcept {
+    return options_;
+  }
+
+private:
+  /// Memoized Section-4.1 layout per (kernel, T, L, S, B); candidates are
+  /// certified against the tiled traversal when one is supplied. Keyed by
+  /// kernel name + cache label + tiling; not thread-safe.
+  const MemoryLayout& layoutFor(const Kernel& kernel,
+                                const CacheConfig& cache,
+                                const Kernel* tiledProbe,
+                                std::uint32_t tiling) const;
+
+  ExploreOptions options_;
+  CycleModel cycleModel_;
+  mutable std::map<std::string, MemoryLayout> layoutCache_;
+};
+
+}  // namespace memx

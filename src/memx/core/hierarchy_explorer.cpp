@@ -1,0 +1,85 @@
+#include "memx/core/hierarchy_explorer.hpp"
+
+#include <sstream>
+
+#include "memx/cachesim/bus_monitor.hpp"
+#include "memx/energy/energy_model.hpp"
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+#include "memx/util/pow2_range.hpp"
+
+namespace memx {
+
+std::string HierarchyPoint::label() const {
+  std::ostringstream os;
+  os << "L1:" << l1.label() << "+L2:" << l2.label();
+  return os.str();
+}
+
+void HierarchyRanges::validate() const {
+  MEMX_EXPECTS(isPow2(minL1Bytes) && isPow2(maxL1Bytes) &&
+                   isPow2(minL2Bytes) && isPow2(maxL2Bytes) &&
+                   isPow2(l1LineBytes) && isPow2(l2LineBytes) &&
+                   isPow2(l2Associativity),
+               "hierarchy sweep bounds must be powers of two");
+  MEMX_EXPECTS(minL1Bytes <= maxL1Bytes && minL2Bytes <= maxL2Bytes,
+               "hierarchy ranges inverted");
+  MEMX_EXPECTS(l1LineBytes <= l2LineBytes,
+               "L2 lines must be at least L1 lines");
+}
+
+HierarchyPoint evaluateHierarchyPoint(const Trace& trace,
+                                      const CacheConfig& l1,
+                                      const CacheConfig& l2,
+                                      const EnergyParams& energy,
+                                      const HierarchyTiming& timing) {
+  CacheHierarchy stack(l1, l2);
+  stack.run(trace);
+  const HierarchyStats& s = stack.stats();
+
+  const double addBs = measureAddrActivity(trace);
+  const CacheEnergyModel l1Model(l1, energy, addBs);
+  const CacheEnergyModel l2Model(l2, energy, addBs);
+
+  HierarchyPoint point;
+  point.l1 = l1;
+  point.l2 = l2;
+  point.l1MissRate = s.l1.missRate();
+  point.globalMissRate = s.globalMissRate();
+  point.cycles = timing.cycles(s);
+  // Every access reads the L1 array; L1 misses read the L2 array; L2
+  // misses pay the L2 line's I/O + main-memory cost.
+  point.energyNj =
+      static_cast<double>(s.l1.accesses()) * l1Model.hitEnergyNj() +
+      static_cast<double>(s.l2.accesses()) * l2Model.hitEnergyNj() +
+      static_cast<double>(s.l2.misses()) *
+          (l2Model.ioEnergyNj() + l2Model.mainEnergyNj());
+  return point;
+}
+
+std::vector<HierarchyPoint> exploreHierarchy(const Trace& trace,
+                                             const HierarchyRanges& ranges,
+                                             const EnergyParams& energy,
+                                             const HierarchyTiming& timing) {
+  ranges.validate();
+  std::vector<HierarchyPoint> points;
+  for (const std::uint64_t s1 :
+       pow2Range(ranges.minL1Bytes, ranges.maxL1Bytes)) {
+    for (const std::uint64_t s2 :
+         pow2Range(ranges.minL2Bytes, ranges.maxL2Bytes)) {
+      if (s2 < s1) continue;
+      CacheConfig l1;
+      l1.sizeBytes = static_cast<std::uint32_t>(s1);
+      l1.lineBytes = ranges.l1LineBytes;
+      CacheConfig l2;
+      l2.sizeBytes = static_cast<std::uint32_t>(s2);
+      l2.lineBytes = ranges.l2LineBytes;
+      l2.associativity = ranges.l2Associativity;
+      points.push_back(
+          evaluateHierarchyPoint(trace, l1, l2, energy, timing));
+    }
+  }
+  return points;
+}
+
+}  // namespace memx

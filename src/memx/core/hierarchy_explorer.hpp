@@ -1,0 +1,56 @@
+// Two-level (L1 + L2) exploration — the paper's MemExplore loop extended
+// one memory level down.
+//
+// Energy: every access pays the L1 hit energy; L1 misses add the L2
+// access energy; L2 misses add the I/O + main-memory energy of the L2's
+// line. Cycles use the two-level latency model. Both levels sweep in
+// powers of two, inclusion constraints enforced.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memx/cachesim/cache_config.hpp"
+#include "memx/cachesim/hierarchy.hpp"
+#include "memx/core/explorer.hpp"
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// One evaluated (L1, L2) pair.
+struct HierarchyPoint {
+  CacheConfig l1;
+  CacheConfig l2;
+  double l1MissRate = 0.0;
+  double globalMissRate = 0.0;  ///< off-chip accesses / processor accesses
+  double cycles = 0.0;
+  double energyNj = 0.0;
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Sweep ranges of a two-level exploration.
+struct HierarchyRanges {
+  std::uint32_t minL1Bytes = 32;
+  std::uint32_t maxL1Bytes = 256;
+  std::uint32_t l1LineBytes = 8;
+  std::uint32_t minL2Bytes = 256;
+  std::uint32_t maxL2Bytes = 4096;
+  std::uint32_t l2LineBytes = 16;
+  std::uint32_t l2Associativity = 2;
+
+  void validate() const;
+};
+
+/// Evaluate one (l1, l2) pair on `trace`.
+[[nodiscard]] HierarchyPoint evaluateHierarchyPoint(
+    const Trace& trace, const CacheConfig& l1, const CacheConfig& l2,
+    const EnergyParams& energy = {}, const HierarchyTiming& timing = {});
+
+/// Sweep every valid (L1, L2) pair (L2 >= L1) over `trace`.
+[[nodiscard]] std::vector<HierarchyPoint> exploreHierarchy(
+    const Trace& trace, const HierarchyRanges& ranges,
+    const EnergyParams& energy = {}, const HierarchyTiming& timing = {});
+
+}  // namespace memx

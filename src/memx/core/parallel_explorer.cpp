@@ -1,0 +1,44 @@
+#include "memx/core/parallel_explorer.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace memx {
+
+ExplorationResult exploreParallel(const Kernel& kernel,
+                                  const ExploreOptions& options,
+                                  unsigned threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  const Explorer grid(options);
+  const std::vector<ConfigKey> keys = grid.sweepKeys();
+  threads = std::min<unsigned>(
+      threads, std::max<std::size_t>(1, keys.size()));
+
+  std::vector<DesignPoint> points(keys.size());
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t]() {
+      // Each worker owns an Explorer so the layout memo stays private.
+      const Explorer local(options);
+      for (std::size_t i = t; i < keys.size(); i += threads) {
+        CacheConfig cache;
+        cache.sizeBytes = keys[i].cacheBytes;
+        cache.lineBytes = keys[i].lineBytes;
+        cache.associativity = keys[i].associativity;
+        points[i] = local.evaluate(kernel, cache, keys[i].tiling);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  ExplorationResult result;
+  result.workload = kernel.name;
+  result.points = std::move(points);
+  return result;
+}
+
+}  // namespace memx

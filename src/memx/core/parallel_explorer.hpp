@@ -1,0 +1,22 @@
+// Multi-threaded MemExplore sweep.
+//
+// Design points are independent, so the sweep parallelizes trivially:
+// the key grid is partitioned across worker threads, each with its own
+// Explorer (the layout memo is not thread-safe by design). Results are
+// identical to the serial sweep, in the same key order.
+#pragma once
+
+#include <cstdint>
+
+#include "memx/core/explorer.hpp"
+
+namespace memx {
+
+/// Run the full sweep over `kernel` with `threads` workers (0 = use the
+/// hardware concurrency, at least 1). Deterministic: equal to
+/// Explorer(options).explore(kernel) point for point.
+[[nodiscard]] ExplorationResult exploreParallel(
+    const Kernel& kernel, const ExploreOptions& options,
+    unsigned threads = 0);
+
+}  // namespace memx

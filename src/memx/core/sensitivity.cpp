@@ -1,0 +1,48 @@
+#include "memx/core/sensitivity.hpp"
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+std::vector<SensitivityRow> sweepSensitivity(
+    const Kernel& kernel, std::span<const double> values,
+    const OptionsMutator& mutator, const ExploreOptions& base) {
+  MEMX_EXPECTS(static_cast<bool>(mutator), "mutator must be callable");
+  std::vector<SensitivityRow> rows;
+  rows.reserve(values.size());
+  for (const double v : values) {
+    ExploreOptions options = base;
+    mutator(options, v);
+    const Explorer explorer(options);
+    const ExplorationResult result = explorer.explore(kernel);
+    const auto minE = minEnergyPoint(result.points);
+    const auto minC = minCyclePoint(result.points);
+    MEMX_ENSURES(minE.has_value() && minC.has_value(),
+                 "exploration produced no points");
+    SensitivityRow row;
+    row.parameterValue = v;
+    row.minEnergyKey = minE->key;
+    row.minEnergyNj = minE->energyNj;
+    row.minCycleKey = minC->key;
+    row.minCycles = minC->cycles;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<SensitivityRow> sweepEmSensitivity(
+    const Kernel& kernel, std::span<const double> emValues,
+    const ExploreOptions& base) {
+  return sweepSensitivity(
+      kernel, emValues,
+      [](ExploreOptions& o, double em) { o.energy.emNj = em; }, base);
+}
+
+bool selectionStable(std::span<const SensitivityRow> rows) {
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (!(rows[i].minEnergyKey == rows[0].minEnergyKey)) return false;
+  }
+  return true;
+}
+
+}  // namespace memx

@@ -1,0 +1,46 @@
+// Sensitivity analysis of the selected configuration to model constants.
+//
+// Figure 1's lesson is that the *selected* cache flips with Em; this
+// module generalizes that: sweep any scalar model parameter, re-run the
+// exploration, and report where the minimum-energy (and minimum-cycle)
+// choices move. A selection that is stable across the parameter's
+// plausible range can be trusted despite model uncertainty.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memx/core/explorer.hpp"
+#include "memx/core/selection.hpp"
+
+namespace memx {
+
+/// One row of a sensitivity sweep.
+struct SensitivityRow {
+  double parameterValue = 0.0;
+  ConfigKey minEnergyKey;
+  double minEnergyNj = 0.0;
+  ConfigKey minCycleKey;
+  double minCycles = 0.0;
+};
+
+/// Applies one parameter value to the exploration options.
+using OptionsMutator = std::function<void(ExploreOptions&, double)>;
+
+/// Re-explore `kernel` for every value in `values`, mutating a copy of
+/// `base` through `mutator` each time.
+[[nodiscard]] std::vector<SensitivityRow> sweepSensitivity(
+    const Kernel& kernel, std::span<const double> values,
+    const OptionsMutator& mutator, const ExploreOptions& base = {});
+
+/// The Figure-1 special case: sweep the main-memory energy Em.
+[[nodiscard]] std::vector<SensitivityRow> sweepEmSensitivity(
+    const Kernel& kernel, std::span<const double> emValues,
+    const ExploreOptions& base = {});
+
+/// True when the min-energy selection is identical across all rows.
+[[nodiscard]] bool selectionStable(std::span<const SensitivityRow> rows);
+
+}  // namespace memx

@@ -1,0 +1,53 @@
+#include "memx/core/trace_explorer.hpp"
+
+#include "memx/cachesim/bus_monitor.hpp"
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/timing/cycle_model.hpp"
+
+namespace memx {
+
+DesignPoint evaluateTracePoint(const Trace& trace, const CacheConfig& cache,
+                               const ExploreOptions& options) {
+  cache.validate();
+  options.energy.validate();
+
+  CacheConfig config = cache;
+  config.writePolicy = options.writePolicy;
+  config.replacement = options.replacement;
+
+  const CacheStats stats = simulateTrace(config, trace);
+  const double addBs = options.measureBusActivity
+                           ? measureAddrActivity(trace)
+                           : kDefaultAddrSwitchesPerAccess;
+  const CycleModel cycleModel(options.timing);
+  const CacheEnergyModel energyModel(config, options.energy, addBs);
+
+  DesignPoint point;
+  point.key = ConfigKey{config.sizeBytes, config.lineBytes,
+                        config.associativity, 1};
+  point.accesses = stats.accesses();
+  point.missRate = stats.missRate();
+  point.cycles = cycleModel.cycles(stats, config, 1);
+  point.energyNj = energyModel.totalNj(stats);
+  return point;
+}
+
+ExplorationResult exploreTrace(const std::string& name, const Trace& trace,
+                               const ExploreOptions& options) {
+  ExploreOptions o = options;
+  o.ranges.sweepTiling = false;
+  const Explorer grid(o);  // reuse the sweep-key generator
+
+  ExplorationResult result;
+  result.workload = name;
+  for (const ConfigKey& key : grid.sweepKeys()) {
+    CacheConfig cache;
+    cache.sizeBytes = key.cacheBytes;
+    cache.lineBytes = key.lineBytes;
+    cache.associativity = key.associativity;
+    result.points.push_back(evaluateTracePoint(trace, cache, o));
+  }
+  return result;
+}
+
+}  // namespace memx

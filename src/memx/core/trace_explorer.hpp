@@ -1,0 +1,27 @@
+// MemExplore over a fixed reference trace.
+//
+// The kernel-based Explorer regenerates traces per tiling/layout; this
+// entry point sweeps (T, L, S) over a trace that already exists — an
+// instruction-fetch stream, a Dinero file, or any recorded workload.
+#pragma once
+
+#include <string>
+
+#include "memx/core/explorer.hpp"
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Evaluate one cache configuration against a fixed trace using the
+/// paper's cycle and energy models (tiling term B = 1).
+[[nodiscard]] DesignPoint evaluateTracePoint(const Trace& trace,
+                                             const CacheConfig& cache,
+                                             const ExploreOptions& options);
+
+/// Sweep every (T, L, S) of `options.ranges` over `trace`. Tiling is not
+/// applicable to a fixed trace; all points carry B = 1.
+[[nodiscard]] ExplorationResult exploreTrace(const std::string& name,
+                                             const Trace& trace,
+                                             const ExploreOptions& options);
+
+}  // namespace memx

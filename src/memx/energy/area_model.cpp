@@ -1,0 +1,39 @@
+#include "memx/energy/area_model.hpp"
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+void AreaParams::validate() const {
+  MEMX_EXPECTS(sramCellRbe > 0, "SRAM cell area must be positive");
+  MEMX_EXPECTS(comparatorRbe >= 0, "comparator area cannot be negative");
+  MEMX_EXPECTS(addressBits >= 8 && addressBits <= 64,
+               "address width out of range");
+}
+
+std::uint32_t tagBits(const CacheConfig& config, std::uint32_t addressBits) {
+  config.validate();
+  const std::uint32_t indexBits = log2Exact(config.numSets());
+  const std::uint32_t offsetBits = log2Exact(config.lineBytes);
+  MEMX_EXPECTS(addressBits > indexBits + offsetBits,
+               "address width too small for this geometry");
+  return addressBits - indexBits - offsetBits;
+}
+
+CacheArea estimateArea(const CacheConfig& config, const AreaParams& params) {
+  config.validate();
+  params.validate();
+
+  const double lines = config.numLines();
+  CacheArea area;
+  area.dataRbe = params.sramCellRbe * 8.0 * config.sizeBytes;
+  area.tagRbe =
+      params.sramCellRbe * lines * tagBits(config, params.addressBits);
+  area.statusRbe = params.sramCellRbe * lines * params.statusBitsPerLine;
+  area.comparatorRbe = params.comparatorRbe * config.associativity *
+                       tagBits(config, params.addressBits);
+  return area;
+}
+
+}  // namespace memx

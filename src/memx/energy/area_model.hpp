@@ -1,0 +1,51 @@
+// Cache area estimation (register-bit-equivalent model).
+//
+// The paper's first metric is "cache size" in bytes; for a design-space
+// tool an area figure that includes the tag store and per-line status
+// bits is more faithful — two configurations of equal data capacity can
+// differ by >30% in silicon. This module implements a Mulder-style RBE
+// (register-bit-equivalent) model: every storage bit costs a fixed RBE,
+// tags shrink as lines grow, and associativity adds comparator overhead.
+#pragma once
+
+#include <cstdint>
+
+#include "memx/cachesim/cache_config.hpp"
+
+namespace memx {
+
+/// Technology constants of the area model.
+struct AreaParams {
+  double sramCellRbe = 0.6;      ///< RBE per SRAM bit (Mulder et al.)
+  double comparatorRbe = 6.0;    ///< RBE per tag-comparator bit per way
+  std::uint32_t addressBits = 32;  ///< physical address width
+  std::uint32_t statusBitsPerLine = 2;  ///< valid + dirty
+
+  void validate() const;
+};
+
+/// Area split of one configuration.
+struct CacheArea {
+  double dataRbe = 0.0;
+  double tagRbe = 0.0;
+  double statusRbe = 0.0;
+  double comparatorRbe = 0.0;
+
+  [[nodiscard]] double totalRbe() const noexcept {
+    return dataRbe + tagRbe + statusRbe + comparatorRbe;
+  }
+  /// Overhead of everything that is not data, relative to data.
+  [[nodiscard]] double overheadRatio() const noexcept {
+    return dataRbe == 0.0 ? 0.0 : (totalRbe() - dataRbe) / dataRbe;
+  }
+};
+
+/// Tag width of a configuration: addressBits - log2(sets) - log2(line).
+[[nodiscard]] std::uint32_t tagBits(const CacheConfig& config,
+                                    std::uint32_t addressBits = 32);
+
+/// Estimate the silicon area of `config` under `params`.
+[[nodiscard]] CacheArea estimateArea(const CacheConfig& config,
+                                     const AreaParams& params = {});
+
+}  // namespace memx

@@ -1,0 +1,60 @@
+#include "memx/energy/dram_model.hpp"
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+void DramConfig::validate() const {
+  MEMX_EXPECTS(isPow2(rowBytes), "row size must be a power of two");
+  MEMX_EXPECTS(isPow2(accessBytes), "access width must be a power of two");
+  MEMX_EXPECTS(accessBytes <= rowBytes, "access wider than a row");
+  MEMX_EXPECTS(rowHitNj > 0 && rowMissNj > 0,
+               "energies must be positive");
+  MEMX_EXPECTS(rowMissNj >= rowHitNj,
+               "a row miss cannot be cheaper than a row hit");
+}
+
+DramModel::DramModel(const DramConfig& config) : config_(config) {
+  config_.validate();
+}
+
+void DramModel::fill(std::uint64_t addr, std::uint32_t lineBytes) {
+  MEMX_EXPECTS(lineBytes >= config_.accessBytes,
+               "line smaller than the memory access width");
+  for (std::uint64_t offset = 0; offset < lineBytes;
+       offset += config_.accessBytes) {
+    const std::uint64_t row = (addr + offset) / config_.rowBytes;
+    ++stats_.accesses;
+    if (row == openRow_) {
+      ++stats_.rowHits;
+      stats_.energyNj += config_.rowHitNj;
+    } else {
+      ++stats_.rowMisses;
+      stats_.energyNj += config_.rowMissNj;
+      openRow_ = row;
+    }
+  }
+}
+
+DramStats replayMissStream(const CacheConfig& cache, const Trace& trace,
+                           const DramConfig& dram) {
+  CacheSim sim(cache);
+  DramModel memory(dram);
+  for (const MemRef& ref : trace) {
+    const AccessOutcome out = sim.access(ref);
+    if (out.fills > 0) {
+      const std::uint64_t base =
+          ref.addr / cache.lineBytes * cache.lineBytes;
+      for (std::uint32_t f = 0; f < out.fills; ++f) {
+        memory.fill(base + static_cast<std::uint64_t>(f) *
+                               cache.lineBytes,
+                    cache.lineBytes);
+      }
+    }
+  }
+  return memory.stats();
+}
+
+}  // namespace memx

@@ -1,0 +1,133 @@
+#include "memx/energy/energy_model.hpp"
+
+#include "memx/energy/area_model.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace {
+constexpr double kPjToNj = 1e-3;
+}
+
+void EnergyParams::validate() const {
+  MEMX_EXPECTS(alphaPj > 0, "alpha must be positive");
+  MEMX_EXPECTS(betaPj > 0, "beta must be positive");
+  MEMX_EXPECTS(gammaPj > 0, "gamma must be positive");
+  MEMX_EXPECTS(dataActivity >= 0 && dataActivity <= 1,
+               "data activity must be in [0,1]");
+  MEMX_EXPECTS(emNj > 0, "Em must be positive");
+  MEMX_EXPECTS(mainBytesPerAccess > 0,
+               "main memory width must be positive");
+  MEMX_EXPECTS(addressBits >= 8 && addressBits <= 64,
+               "address width out of range");
+  MEMX_EXPECTS(leakagePjPerBytePerCycle >= 0,
+               "leakage cannot be negative");
+}
+
+CacheEnergyModel::CacheEnergyModel(const CacheConfig& config,
+                                   const EnergyParams& params,
+                                   double addrSwitchesPerAccess)
+    : config_(config), params_(params), addBs_(addrSwitchesPerAccess) {
+  config_.validate();
+  params_.validate();
+  MEMX_EXPECTS(addrSwitchesPerAccess >= 0,
+               "address activity cannot be negative");
+}
+
+double CacheEnergyModel::decodeEnergyNj() const noexcept {
+  return params_.alphaPj * addBs_ * kPjToNj;
+}
+
+double CacheEnergyModel::cellEnergyNj() const noexcept {
+  // word_line_size: all S ways of one set read in parallel, 8 bits/byte.
+  const double wordLineCells =
+      8.0 * config_.lineBytes * config_.associativity;
+  const double bitLineCells = config_.numSets();
+  return params_.betaPj * wordLineCells * bitLineCells * kPjToNj;
+}
+
+double CacheEnergyModel::ioEnergyNj() const noexcept {
+  const double dataBits = params_.dataActivity * 8.0 * config_.lineBytes;
+  return params_.gammaPj * (dataBits + addBs_) * kPjToNj;
+}
+
+double CacheEnergyModel::mainEnergyNj() const noexcept {
+  const double dataBits = params_.dataActivity * 8.0 * config_.lineBytes;
+  const double mainAccesses =
+      static_cast<double>(config_.lineBytes) / params_.mainBytesPerAccess;
+  return params_.gammaPj * dataBits * kPjToNj + params_.emNj * mainAccesses;
+}
+
+double CacheEnergyModel::tagEnergyNj() const noexcept {
+  if (!params_.includeTagArray) return 0.0;
+  // Tag word line: all S ways' tags read in parallel; bit line: sets.
+  const double wordLineCells =
+      static_cast<double>(tagBits(config_, params_.addressBits)) *
+      config_.associativity;
+  const double bitLineCells = config_.numSets();
+  return params_.betaPj * wordLineCells * bitLineCells * kPjToNj;
+}
+
+double CacheEnergyModel::hitEnergyNj() const noexcept {
+  return decodeEnergyNj() + cellEnergyNj() + tagEnergyNj();
+}
+
+double CacheEnergyModel::missEnergyNj() const noexcept {
+  return hitEnergyNj() + ioEnergyNj() + mainEnergyNj();
+}
+
+double CacheEnergyModel::perAccessNj(double missRate) const {
+  MEMX_EXPECTS(missRate >= 0.0 && missRate <= 1.0,
+               "miss rate must be in [0,1]");
+  return (1.0 - missRate) * hitEnergyNj() + missRate * missEnergyNj();
+}
+
+double CacheEnergyModel::totalNj(std::uint64_t accesses,
+                                 double missRate) const {
+  return static_cast<double>(accesses) * perAccessNj(missRate);
+}
+
+double CacheEnergyModel::totalNj(const CacheStats& stats) const {
+  return totalNj(stats.accesses(), stats.missRate());
+}
+
+double CacheEnergyModel::leakageNj(double cycles) const {
+  MEMX_EXPECTS(cycles >= 0, "cycles cannot be negative");
+  return params_.leakagePjPerBytePerCycle * config_.sizeBytes * cycles *
+         kPjToNj;
+}
+
+double CacheEnergyModel::memoryTransferNj(std::uint32_t bytes) const {
+  const double dataBits = params_.dataActivity * 8.0 * bytes;
+  const double mainAccesses =
+      static_cast<double>(bytes) / params_.mainBytesPerAccess;
+  return params_.gammaPj * dataBits * kPjToNj + params_.emNj * mainAccesses;
+}
+
+double CacheEnergyModel::totalIncludingWritesNj(
+    const CacheStats& stats) const {
+  // Every access pays the array read/write cost; misses add the fill.
+  double total = static_cast<double>(stats.hits()) * hitEnergyNj() +
+                 static_cast<double>(stats.misses()) * missEnergyNj();
+  // Store traffic: write-through word stores and write-back line
+  // evictions move data out through the pads and into the SRAM.
+  const std::uint32_t wordBytes = 4;
+  total += static_cast<double>(stats.memWrites) *
+           memoryTransferNj(wordBytes);
+  total += static_cast<double>(stats.writebacks) *
+           memoryTransferNj(config_.lineBytes);
+  return total;
+}
+
+EnergyBreakdown CacheEnergyModel::breakdown(double missRate) const {
+  MEMX_EXPECTS(missRate >= 0.0 && missRate <= 1.0,
+               "miss rate must be in [0,1]");
+  EnergyBreakdown b;
+  b.decodeNj = decodeEnergyNj();
+  b.cellNj = cellEnergyNj();
+  b.ioNj = missRate * ioEnergyNj();
+  b.mainNj = missRate * mainEnergyNj();
+  return b;
+}
+
+}  // namespace memx

@@ -1,0 +1,44 @@
+#include "memx/energy/sram_catalog.hpp"
+
+#include <algorithm>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+SramCatalog SramCatalog::paperCatalog() {
+  SramCatalog cat;
+  // Cypress CY7C (Section 2.3): 2 Mbit, 4 ns, 3.3 V, 375 mA, 4.95 nJ.
+  cat.add(SramPart{"CY7C-2Mbit", 2u * 1024 * 1024, 4.0, 3.3, 375.0,
+                   kEmCypress2MbitNj});
+  // Section-3 low-Em extreme: 2 Mbit SRAM at 2.31 nJ/access.
+  cat.add(SramPart{"SRAM-2Mbit-low", 2u * 1024 * 1024, 4.0, 3.3, 175.0,
+                   kEmLow2MbitNj});
+  // Section-3 high-Em extreme: 16 Mbit SRAM at 43.56 nJ/access.
+  cat.add(SramPart{"SRAM-16Mbit", 16u * 1024 * 1024, 12.0, 3.3, 1100.0,
+                   kEmHigh16MbitNj});
+  return cat;
+}
+
+void SramCatalog::add(SramPart part) {
+  MEMX_EXPECTS(!part.name.empty(), "SRAM part needs a name");
+  MEMX_EXPECTS(!contains(part.name), "duplicate SRAM part name");
+  MEMX_EXPECTS(part.energyPerAccessNj > 0,
+               "SRAM part needs a positive energy per access");
+  parts_.push_back(std::move(part));
+}
+
+const SramPart& SramCatalog::byName(const std::string& name) const {
+  const auto it =
+      std::find_if(parts_.begin(), parts_.end(),
+                   [&](const SramPart& p) { return p.name == name; });
+  MEMX_EXPECTS(it != parts_.end(), "unknown SRAM part: " + name);
+  return *it;
+}
+
+bool SramCatalog::contains(const std::string& name) const noexcept {
+  return std::any_of(parts_.begin(), parts_.end(),
+                     [&](const SramPart& p) { return p.name == name; });
+}
+
+}  // namespace memx

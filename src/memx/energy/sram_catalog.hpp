@@ -1,0 +1,60 @@
+// Off-chip SRAM part catalog.
+//
+// The paper anchors its main-memory energy Em at three datasheet points:
+// the Cypress CY7C 2 Mbit part used for most experiments (4.95 nJ/access),
+// and the two Section-3 extremes (2 Mbit @ 2.31 nJ, 16 Mbit @ 43.56 nJ)
+// used to show opposite energy-vs-cache-size trends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memx {
+
+/// One off-chip memory part.
+struct SramPart {
+  std::string name;
+  std::uint64_t bits = 0;         ///< capacity in bits
+  double accessNs = 0.0;          ///< access time
+  double voltage = 0.0;           ///< supply voltage
+  double currentMa = 0.0;         ///< active current
+  double energyPerAccessNj = 0.0; ///< the paper's Em
+
+  /// Em computed from electrical parameters (V * I * t_access).
+  [[nodiscard]] double derivedEnergyNj() const noexcept {
+    return voltage * currentMa * accessNs * 1e-3;  // mA*ns*V = pJ; /1e3 = nJ
+  }
+};
+
+/// The catalog of parts the paper references.
+class SramCatalog {
+public:
+  /// Catalog preloaded with the three DAC'99 operating points.
+  static SramCatalog paperCatalog();
+
+  /// Add a part (name must be unique; throws otherwise).
+  void add(SramPart part);
+
+  /// Look up a part by name; throws memx::ContractViolation if missing.
+  [[nodiscard]] const SramPart& byName(const std::string& name) const;
+
+  /// True when `name` is present.
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  [[nodiscard]] const std::vector<SramPart>& parts() const noexcept {
+    return parts_;
+  }
+
+private:
+  std::vector<SramPart> parts_;
+};
+
+/// Em of the SRAM CY7C the paper uses for most experiments (nJ/access).
+inline constexpr double kEmCypress2MbitNj = 4.95;
+/// Em of the cheap 2 Mbit extreme in Section 3 (nJ/access).
+inline constexpr double kEmLow2MbitNj = 2.31;
+/// Em of the expensive 16 Mbit extreme in Section 3 (nJ/access).
+inline constexpr double kEmHigh16MbitNj = 43.56;
+
+}  // namespace memx

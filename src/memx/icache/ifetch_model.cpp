@@ -1,0 +1,77 @@
+#include "memx/icache/ifetch_model.hpp"
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+void InstructionLayout::validate() const {
+  MEMX_EXPECTS(instrBytes > 0, "instruction width must be positive");
+  MEMX_EXPECTS(instrPerAccess > 0,
+               "memory accesses take at least one instruction");
+}
+
+std::uint32_t InstructionLayout::bodyInstructions(
+    const Kernel& kernel) const {
+  return static_cast<std::uint32_t>(kernel.body.size()) * instrPerAccess +
+         arithPerIteration;
+}
+
+std::uint64_t InstructionLayout::codeBytes(const Kernel& kernel) const {
+  const std::uint64_t instrs =
+      bodyInstructions(kernel) +
+      static_cast<std::uint64_t>(kernel.nest.depth()) * loopOverhead;
+  return instrs * instrBytes;
+}
+
+Trace generateIFetchTrace(const Kernel& kernel,
+                          const InstructionLayout& layout) {
+  kernel.validate();
+  layout.validate();
+
+  const std::size_t depth = kernel.nest.depth();
+  // Header block start per level; body after the last header.
+  std::vector<std::uint64_t> headerAddr(depth);
+  std::uint64_t cursor = layout.codeBase;
+  for (std::size_t l = 0; l < depth; ++l) {
+    headerAddr[l] = cursor;
+    cursor += layout.loopOverhead * layout.instrBytes;
+  }
+  const std::uint64_t bodyAddr = cursor;
+  const std::uint32_t bodyInstrs = layout.bodyInstructions(kernel);
+
+  Trace trace;
+  std::vector<std::int64_t> previous;
+  bool first = true;
+  kernel.nest.forEachIteration([&](std::span<const std::int64_t> iv) {
+    // Determine which loop levels (re)started: every level at or below
+    // the outermost changed index re-fetches its header block.
+    std::size_t changed = 0;
+    if (first) {
+      changed = 0;
+      first = false;
+    } else {
+      changed = depth;
+      for (std::size_t l = 0; l < depth; ++l) {
+        if (previous[l] != iv[l]) {
+          changed = l;
+          break;
+        }
+      }
+    }
+    previous.assign(iv.begin(), iv.end());
+
+    for (std::size_t l = changed; l < depth; ++l) {
+      for (std::uint32_t i = 0; i < layout.loopOverhead; ++i) {
+        trace.push(readRef(headerAddr[l] + i * layout.instrBytes,
+                           layout.instrBytes));
+      }
+    }
+    for (std::uint32_t i = 0; i < bodyInstrs; ++i) {
+      trace.push(
+          readRef(bodyAddr + i * layout.instrBytes, layout.instrBytes));
+    }
+  });
+  return trace;
+}
+
+}  // namespace memx

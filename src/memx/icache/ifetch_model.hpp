@@ -1,0 +1,51 @@
+// Instruction-fetch modeling: the paper's stated extension.
+//
+// "The exploration procedure described here for data caches can be
+// extended to instruction caches by merging the method of Kirovski et
+// al with ours." (Section 1.) This module provides that extension for
+// loop kernels: a structural code-layout model maps each loop nest to a
+// contiguous instruction region, an instruction-fetch trace is generated
+// alongside the iteration traversal, and the standard trace explorer
+// sweeps I-cache configurations over it.
+//
+// Code-layout model (one basic block per loop level plus the body):
+//
+//   [prologue][loop-0 header][loop-1 header]...[body][latch-0][latch-1]..
+//
+// Per innermost iteration the body is fetched sequentially; each loop
+// level's header+latch instructions are fetched once per iteration of
+// that level. This captures exactly what matters to an I-cache: small
+// hot loops re-fetch the same lines, so the minimum-energy I-cache is
+// the smallest one that holds the body.
+#pragma once
+
+#include <cstdint>
+
+#include "memx/loopir/kernel.hpp"
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Structural code-size model of a compiled kernel.
+struct InstructionLayout {
+  std::uint64_t codeBase = 0x10000;    ///< where the kernel's code lives
+  std::uint32_t instrBytes = 4;        ///< fixed-width ISA
+  std::uint32_t instrPerAccess = 3;    ///< address calc + load/store + use
+  std::uint32_t arithPerIteration = 4; ///< non-memory body instructions
+  std::uint32_t loopOverhead = 3;      ///< per-level increment/test/branch
+
+  void validate() const;
+
+  /// Instructions in the innermost body for `kernel`.
+  [[nodiscard]] std::uint32_t bodyInstructions(const Kernel& kernel) const;
+
+  /// Total static code footprint of the kernel in bytes.
+  [[nodiscard]] std::uint64_t codeBytes(const Kernel& kernel) const;
+};
+
+/// Generate the instruction-fetch trace of `kernel` under `layout`.
+/// Every reference is a read of `instrBytes` bytes.
+[[nodiscard]] Trace generateIFetchTrace(const Kernel& kernel,
+                                        const InstructionLayout& layout);
+
+}  // namespace memx

@@ -1,0 +1,156 @@
+#include "memx/kernels/benchmarks.hpp"
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace {
+
+/// i + c in a 2-deep (or deeper) nest.
+AffineExpr I(std::int64_t c = 0) {
+  return AffineExpr::var(0).plusConstant(c);
+}
+/// j + c.
+AffineExpr J(std::int64_t c = 0) {
+  return AffineExpr::var(1).plusConstant(c);
+}
+/// k + c (third loop).
+AffineExpr K(std::int64_t c = 0) {
+  return AffineExpr::var(2).plusConstant(c);
+}
+
+ArrayDecl square(const std::string& name, std::int64_t n,
+                 std::uint32_t elemBytes) {
+  return ArrayDecl{name, {n, n}, elemBytes};
+}
+
+}  // namespace
+
+Kernel compressKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 2, "compress needs n >= 2");
+  Kernel k;
+  k.name = "compress";
+  k.arrays = {square("a", n, elemBytes)};
+  k.nest = LoopNest::rectangular({{1, n - 1}, {1, n - 1}});
+  // a[i][j] = a[i][j] - a[i-1][j] - a[i][j-1] - 2*a[i-1][j-1]
+  k.body = {
+      makeAccess(0, {I(), J()}),            // read a[i][j]
+      makeAccess(0, {I(-1), J()}),          // read a[i-1][j]
+      makeAccess(0, {I(), J(-1)}),          // read a[i][j-1]
+      makeAccess(0, {I(-1), J(-1)}),        // read a[i-1][j-1]
+      makeAccess(0, {I(), J()}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel matMulKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 2, "matmul needs n >= 2");
+  Kernel k;
+  k.name = "matmul";
+  k.arrays = {square("a", n, elemBytes), square("b", n, elemBytes),
+              square("c", n, elemBytes)};
+  k.nest = LoopNest::rectangular({{1, n - 1}, {1, n - 1}, {1, n - 1}});
+  // c[i][j] += a[i][k] * b[k][j]
+  k.body = {
+      makeAccess(0, {I(), K()}),   // read a[i][k]
+      makeAccess(1, {K(), J()}),   // read b[k][j]
+      makeAccess(2, {I(), J()}),   // read c[i][j]
+      makeAccess(2, {I(), J()}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel matrixAddKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 1, "matrix add needs n >= 1");
+  Kernel k;
+  k.name = "matadd";
+  k.arrays = {square("a", n, elemBytes), square("b", n, elemBytes),
+              square("c", n, elemBytes)};
+  k.nest = LoopNest::rectangular({{0, n - 1}, {0, n - 1}});
+  // c[i][j] = a[i][j] + b[i][j]
+  k.body = {
+      makeAccess(0, {I(), J()}),
+      makeAccess(1, {I(), J()}),
+      makeAccess(2, {I(), J()}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel pdeKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 3, "pde needs n >= 3");
+  Kernel k;
+  k.name = "pde";
+  k.arrays = {square("a", n, elemBytes), square("b", n, elemBytes)};
+  k.nest = LoopNest::rectangular({{1, n - 2}, {1, n - 2}});
+  // b[i][j] = (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]) / 4
+  k.body = {
+      makeAccess(0, {I(-1), J()}),
+      makeAccess(0, {I(+1), J()}),
+      makeAccess(0, {I(), J(-1)}),
+      makeAccess(0, {I(), J(+1)}),
+      makeAccess(1, {I(), J()}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel sorKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 3, "sor needs n >= 3");
+  Kernel k;
+  k.name = "sor";
+  k.arrays = {square("a", n, elemBytes)};
+  k.nest = LoopNest::rectangular({{1, n - 2}, {1, n - 2}});
+  // a[i][j] = 0.2*(a[i][j] + a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1])
+  k.body = {
+      makeAccess(0, {I(), J()}),
+      makeAccess(0, {I(-1), J()}),
+      makeAccess(0, {I(+1), J()}),
+      makeAccess(0, {I(), J(-1)}),
+      makeAccess(0, {I(), J(+1)}),
+      makeAccess(0, {I(), J()}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel dequantKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 2, "dequant needs n >= 2");
+  Kernel k;
+  k.name = "dequant";
+  k.arrays = {square("coef", n, elemBytes), square("qtab", n, elemBytes),
+              square("out", n, elemBytes)};
+  k.nest = LoopNest::rectangular({{1, n - 1}, {1, n - 1}});
+  // out[i][j] = coef[i][j] * qtab[i][j]
+  k.body = {
+      makeAccess(0, {I(), J()}),
+      makeAccess(1, {I(), J()}),
+      makeAccess(2, {I(), J()}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel transposeKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 1, "transpose needs n >= 1");
+  Kernel k;
+  k.name = "transpose";
+  k.arrays = {square("a", n, elemBytes), square("b", n, elemBytes)};
+  k.nest = LoopNest::rectangular({{0, n - 1}, {0, n - 1}});
+  // a[i][j] = b[j][i]
+  k.body = {
+      makeAccess(1, {J(), I()}),
+      makeAccess(0, {I(), J()}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+std::vector<Kernel> paperBenchmarks() {
+  return {compressKernel(), matMulKernel(), pdeKernel(), sorKernel(),
+          dequantKernel()};
+}
+
+}  // namespace memx

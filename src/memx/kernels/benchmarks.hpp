@@ -1,0 +1,65 @@
+// The paper's benchmark loop kernels (Sections 3-4).
+//
+// All five exploration benchmarks — Compress, Matrix Multiplication, PDE,
+// SOR, Dequant — run a 31x31 iteration space exactly as the paper states.
+//
+// Element granularity: the paper addresses arrays in *elements* (its
+// Section-4.1 walkthrough puts a[1][0] of `int a[32][32]` at address 32),
+// so the default elemBytes is 1 — one address unit per element, giving
+// multi-element cache lines at L = 4 as the paper's line-size study
+// assumes. The factories accept elemBytes = 4 for the byte-addressed
+// word-array view, which is what reproduces the paper's pathological
+// *unoptimized* layouts (128-byte rows aliasing in 32..128-byte caches,
+// Figures 5 and 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// Example 1 / Section 3: in-place 2x2 stencil
+///   a[i][j] -= a[i-1][j] + a[i][j-1] + 2*a[i-1][j-1],  i,j = 1..n-1.
+/// Two reference classes of two references each => 4 minimum cache lines.
+[[nodiscard]] Kernel compressKernel(std::int64_t n = 32,
+                                    std::uint32_t elemBytes = 1);
+
+/// Dense matrix multiply c[i][j] += a[i][k] * b[k][j], all loops 1..n-1
+/// (31x31x31 for the default n = 32).
+[[nodiscard]] Kernel matMulKernel(std::int64_t n = 32,
+                                  std::uint32_t elemBytes = 1);
+
+/// Example 2: c[i][j] = a[i][j] + b[i][j] over n x n. The paper's layout
+/// walkthrough uses n = 6 with byte elements.
+[[nodiscard]] Kernel matrixAddKernel(std::int64_t n = 6,
+                                     std::uint32_t elemBytes = 1);
+
+/// Jacobi-style PDE relaxation step (Wolf-Lam benchmark):
+///   b[i][j] = (a[i-1][j] + a[i+1][j] + a[i][j-1] + a[i][j+1]) / 4.
+[[nodiscard]] Kernel pdeKernel(std::int64_t n = 33,
+                               std::uint32_t elemBytes = 1);
+
+/// Successive over-relaxation, in place (Wolf-Lam benchmark):
+///   a[i][j] = 0.2 * (a[i][j] + a[i-1][j] + a[i+1][j]
+///                    + a[i][j-1] + a[i][j+1]).
+[[nodiscard]] Kernel sorKernel(std::int64_t n = 33,
+                               std::uint32_t elemBytes = 1);
+
+/// MPEG-style dequantization b[i][j] = a[i][j] * q[i][j] on the paper's
+/// 31x31 iteration space.
+[[nodiscard]] Kernel dequantKernel(std::int64_t n = 32,
+                                   std::uint32_t elemBytes = 1);
+
+/// Example 3(a): a[i][j] = b[j][i] — the transpose kernel whose stride-n
+/// accesses motivate tiling.
+[[nodiscard]] Kernel transposeKernel(std::int64_t n = 32,
+                                     std::uint32_t elemBytes = 4);
+
+/// The five kernels of Figures 2, 6, 8 and 9, in paper order:
+/// Compress, Mat. Multi., PDE, SOR, Dequant.
+[[nodiscard]] std::vector<Kernel> paperBenchmarks();
+
+}  // namespace memx

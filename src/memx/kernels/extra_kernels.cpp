@@ -1,0 +1,98 @@
+#include "memx/kernels/extra_kernels.hpp"
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace {
+AffineExpr V(std::size_t dim, std::int64_t c = 0) {
+  return AffineExpr::var(dim).plusConstant(c);
+}
+}  // namespace
+
+Kernel luKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 3, "lu needs n >= 3");
+  Kernel k;
+  k.name = "lu";
+  k.arrays = {ArrayDecl{"a", {n, n}, elemBytes}};
+  k.nest =
+      LoopNest::rectangular({{1, n - 1}, {1, n - 1}, {1, n - 1}});
+  // a[i][j] -= a[i][k] * a[k][j]   (loops: k, i, j)
+  k.body = {
+      makeAccess(0, {V(1), V(0)}),  // a[i][k]
+      makeAccess(0, {V(0), V(2)}),  // a[k][j]
+      makeAccess(0, {V(1), V(2)}),  // a[i][j] read
+      makeAccess(0, {V(1), V(2)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel firKernel(std::int64_t n, std::int64_t taps,
+                 std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 1 && taps >= 1, "fir needs positive sizes");
+  Kernel k;
+  k.name = "fir";
+  k.arrays = {
+      ArrayDecl{"in", {n + taps}, elemBytes},
+      ArrayDecl{"coef", {taps}, elemBytes},
+      ArrayDecl{"out", {n}, elemBytes},
+  };
+  k.nest = LoopNest::rectangular({{0, n - 1}, {0, taps - 1}});
+  // out[i] += coef[t] * in[i + t]
+  k.body = {
+      makeAccess(1, {V(1)}),                       // coef[t]
+      makeAccess(0, {AffineExpr(0, {1, 1})}),      // in[i + t]
+      makeAccess(2, {V(0)}, AccessType::Write),    // out[i]
+  };
+  k.validate();
+  return k;
+}
+
+Kernel histogramKernel(std::int64_t n, std::int64_t bins) {
+  MEMX_EXPECTS(n >= 1 && bins >= 1, "histogram needs positive sizes");
+  Kernel k;
+  k.name = "histogram";
+  k.arrays = {
+      ArrayDecl{"data", {n}, 1},
+      ArrayDecl{"bins", {bins}, 4},
+  };
+  k.nest = LoopNest::rectangular({{0, n - 1}});
+  ArrayAccess binRead;
+  binRead.arrayIndex = 1;
+  binRead.subscripts = {AffineExpr(0)};
+  binRead.indirectSeed = 0xB1A5;
+  ArrayAccess binWrite = binRead;
+  binWrite.type = AccessType::Write;
+  // The read and the write of one iteration must hit the same random
+  // bin: same seed, same iteration hash.
+  k.body = {
+      makeAccess(0, {AffineExpr::var(0)}),  // data[i]
+      binRead,
+      binWrite,
+  };
+  k.validate();
+  return k;
+}
+
+Kernel matVecKernel(std::int64_t n, std::uint32_t elemBytes) {
+  MEMX_EXPECTS(n >= 1, "matvec needs n >= 1");
+  Kernel k;
+  k.name = "matvec";
+  k.arrays = {
+      ArrayDecl{"m", {n, n}, elemBytes},
+      ArrayDecl{"x", {n}, elemBytes},
+      ArrayDecl{"y", {n}, elemBytes},
+  };
+  k.nest = LoopNest::rectangular({{0, n - 1}, {0, n - 1}});
+  // y[i] += m[i][j] * x[j]
+  k.body = {
+      makeAccess(0, {V(0), V(1)}),
+      makeAccess(1, {V(1)}),
+      makeAccess(2, {V(0)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+}  // namespace memx

@@ -1,0 +1,37 @@
+// Additional classic embedded/DSP kernels beyond the paper's five.
+//
+// These widen the workload space the library is exercised on: LU has a
+// triangular-ish reuse pattern, FIR is the canonical DSP sliding window,
+// histogram stresses data-dependent writes (the layout optimization's
+// blind spot), and matrix-vector mixes streaming with a hot vector.
+#pragma once
+
+#include <cstdint>
+
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// Right-looking LU elimination step set over an n x n matrix
+/// (rectangularized: every (k-independent) update runs over the full
+/// square; the traversal, not the arithmetic, is what matters here).
+///   a[i][j] -= a[i][k] * a[k][j]  for k, i, j in [1, n-1].
+[[nodiscard]] Kernel luKernel(std::int64_t n = 16,
+                              std::uint32_t elemBytes = 1);
+
+/// FIR filter: out[i] = sum_t coef[t] * in[i + t], taps reused every
+/// iteration (hot coefficient array), input sliding window.
+[[nodiscard]] Kernel firKernel(std::int64_t n = 256, std::int64_t taps = 16,
+                               std::uint32_t elemBytes = 1);
+
+/// Histogram: bins[ data[i] ]++ — a data-dependent (incompatible)
+/// read-modify-write that no static layout can de-conflict.
+[[nodiscard]] Kernel histogramKernel(std::int64_t n = 1024,
+                                     std::int64_t bins = 64);
+
+/// Matrix-vector product y[i] += m[i][j] * x[j]: the matrix streams
+/// once, the x vector is reused every row.
+[[nodiscard]] Kernel matVecKernel(std::int64_t n = 64,
+                                  std::uint32_t elemBytes = 1);
+
+}  // namespace memx

@@ -1,0 +1,202 @@
+#include "memx/kernels/mpeg_kernels.hpp"
+
+namespace memx {
+
+namespace {
+
+AffineExpr V(std::size_t dim, std::int64_t c = 0) {
+  return AffineExpr::var(dim).plusConstant(c);
+}
+
+ArrayAccess indirectRead(std::size_t arrayIndex, std::size_t rank,
+                         std::uint64_t seed) {
+  ArrayAccess acc;
+  acc.arrayIndex = arrayIndex;
+  acc.subscripts.assign(rank, AffineExpr(0));
+  acc.type = AccessType::Read;
+  acc.indirectSeed = seed;
+  return acc;
+}
+
+}  // namespace
+
+Kernel mpegVldKernel() {
+  Kernel k;
+  k.name = "VLD";
+  k.arrays = {
+      ArrayDecl{"bits", {1024}, 1},    // bitstream bytes
+      ArrayDecl{"codetab", {256}, 4},  // Huffman code table
+      ArrayDecl{"runlen", {1024}, 2},  // decoded (run, level) output
+  };
+  k.nest = LoopNest::rectangular({{0, 1023}});
+  k.body = {
+      makeAccess(0, {V(0)}),              // sequential bitstream read
+      indirectRead(1, 1, 0xD0DEC0DEull),
+      makeAccess(2, {V(0)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel mpegDequantKernel() {
+  Kernel k;
+  k.name = "Dequant";
+  // 24 blocks of 8x8 coefficients; the quantizer table is shared.
+  k.arrays = {
+      ArrayDecl{"coef", {24, 8, 8}, 2},
+      ArrayDecl{"qtab", {8, 8}, 2},
+  };
+  k.nest = LoopNest::rectangular({{0, 23}, {0, 7}, {0, 7}});
+  k.body = {
+      makeAccess(0, {V(0), V(1), V(2)}),
+      makeAccess(1, {V(1), V(2)}),
+      makeAccess(0, {V(0), V(1), V(2)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel mpegIdctKernel() {
+  Kernel k;
+  k.name = "IDCT";
+  // Column pass: reads the block transposed (stride-8), writes row-major.
+  k.arrays = {
+      ArrayDecl{"blk", {24, 8, 8}, 2},
+      ArrayDecl{"out", {24, 8, 8}, 2},
+      ArrayDecl{"costab", {8, 8}, 2},
+  };
+  k.nest = LoopNest::rectangular({{0, 23}, {0, 7}, {0, 7}});
+  k.body = {
+      makeAccess(0, {V(0), V(2), V(1)}),  // transposed read
+      makeAccess(2, {V(1), V(2)}),        // cosine table
+      makeAccess(1, {V(0), V(1), V(2)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel mpegPlusKernel() {
+  Kernel k;
+  k.name = "Plus";
+  k.arrays = {
+      ArrayDecl{"pred", {16, 64}, 1},
+      ArrayDecl{"resid", {16, 64}, 2},
+      ArrayDecl{"recon", {16, 64}, 1},
+  };
+  k.nest = LoopNest::rectangular({{0, 15}, {0, 63}});
+  k.body = {
+      makeAccess(0, {V(0), V(1)}),
+      makeAccess(1, {V(0), V(1)}),
+      makeAccess(2, {V(0), V(1)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel mpegDisplayKernel() {
+  Kernel k;
+  k.name = "Display";
+  k.arrays = {ArrayDecl{"frame", {4096}, 1},
+              ArrayDecl{"screen", {4096}, 1}};
+  k.nest = LoopNest::rectangular({{0, 4095}});
+  k.body = {
+      makeAccess(0, {V(0)}),
+      makeAccess(1, {V(0)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel mpegStoreKernel() {
+  Kernel k;
+  k.name = "Store";
+  k.arrays = {ArrayDecl{"recon", {16, 64}, 1},
+              ArrayDecl{"frame", {4096}, 1}};
+  k.nest = LoopNest::rectangular({{0, 15}, {0, 63}});
+  k.body = {
+      makeAccess(0, {V(0), V(1)}),
+      // frame[64*i + j]
+      makeAccess(1,
+                 {AffineExpr(0, {64, 1})},
+                 AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel mpegAddrKernel() {
+  Kernel k;
+  k.name = "Addr";
+  k.arrays = {
+      ArrayDecl{"mv", {96, 2}, 2},    // motion vectors (x, y)
+      ArrayDecl{"addr", {96}, 4},     // computed fetch addresses
+  };
+  k.nest = LoopNest::rectangular({{0, 95}});
+  k.body = {
+      makeAccess(0, {V(0), AffineExpr(0)}),
+      makeAccess(0, {V(0), AffineExpr(1)}),
+      makeAccess(1, {V(0)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel mpegFetchKernel() {
+  Kernel k;
+  k.name = "Fetch";
+  // 4x4 grid of 8x8 blocks fetched at a (+1, +1) motion offset from the
+  // reference frame.
+  k.arrays = {
+      ArrayDecl{"refframe", {40, 40}, 1},
+      ArrayDecl{"blk", {16, 8, 8}, 1},
+  };
+  k.nest =
+      LoopNest::rectangular({{0, 3}, {0, 3}, {0, 7}, {0, 7}});
+  k.body = {
+      // refframe[8*bi + y + 1][8*bj + x + 1]
+      makeAccess(0, {AffineExpr(1, {8, 0, 1, 0}),
+                     AffineExpr(1, {0, 8, 0, 1})}),
+      // blk[4*bi + bj][y][x]
+      makeAccess(1, {AffineExpr(0, {4, 1, 0, 0}),
+                     AffineExpr(0, {0, 0, 1, 0}),
+                     AffineExpr(0, {0, 0, 0, 1})},
+                 AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+Kernel mpegComputeKernel() {
+  Kernel k;
+  k.name = "Compute";
+  // Half-pel interpolation over a 32x32 region.
+  k.arrays = {
+      ArrayDecl{"src", {33, 33}, 1},
+      ArrayDecl{"dst", {32, 32}, 1},
+  };
+  k.nest = LoopNest::rectangular({{0, 31}, {0, 31}});
+  k.body = {
+      makeAccess(0, {V(0), V(1)}),
+      makeAccess(0, {V(0), V(1, 1)}),
+      makeAccess(0, {V(0, 1), V(1)}),
+      makeAccess(0, {V(0, 1), V(1, 1)}),
+      makeAccess(1, {V(0), V(1)}, AccessType::Write),
+  };
+  k.validate();
+  return k;
+}
+
+std::vector<WeightedKernel> mpegDecoderKernels() {
+  // Trip counts per decoded frame: block-level kernels (Dequant, IDCT,
+  // Plus, Store) run once per macroblock row group, prediction kernels
+  // once per motion-compensated macroblock, the frame-level kernels once.
+  return {
+      {mpegVldKernel(), 1},     {mpegDequantKernel(), 6},
+      {mpegIdctKernel(), 6},    {mpegPlusKernel(), 6},
+      {mpegDisplayKernel(), 1}, {mpegStoreKernel(), 6},
+      {mpegAddrKernel(), 4},    {mpegFetchKernel(), 4},
+      {mpegComputeKernel(), 4},
+  };
+}
+
+}  // namespace memx

@@ -1,0 +1,64 @@
+// The nine MPEG-decoder kernels of the Section-5 case study.
+//
+// The paper takes these from Thordarson's behavioral MPEG description,
+// which is not publicly available; each kernel here is modeled as a loop
+// nest with the access pattern its role implies (see DESIGN.md,
+// "Substitutions"). What matters for the case study is that the kernels
+// pull the exploration toward different (T, L, S, B) corners: VLD is
+// pointer-chasing, Display/Store are long sequential streams, IDCT is
+// transposed/strided, Fetch is motion-offset block copying, and the
+// arithmetic kernels (Dequant, Plus, Compute) are multi-operand
+// elementwise loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// Variable-length decoding: sequential bitstream scan plus data-dependent
+/// (incompatible) code-table lookups.
+[[nodiscard]] Kernel mpegVldKernel();
+
+/// Coefficient dequantization over 8x8 blocks; the quantizer matrix is
+/// reused by every block (high temporal locality on one small array).
+[[nodiscard]] Kernel mpegDequantKernel();
+
+/// Column pass of the 2-D IDCT: transposed (stride-8) reads.
+[[nodiscard]] Kernel mpegIdctKernel();
+
+/// Reconstruction add: out = clip(pred + resid), elementwise over a
+/// macroblock row.
+[[nodiscard]] Kernel mpegPlusKernel();
+
+/// Frame read-out to the display: one long sequential read stream.
+[[nodiscard]] Kernel mpegDisplayKernel();
+
+/// Reconstructed-frame store: one long sequential write stream.
+[[nodiscard]] Kernel mpegStoreKernel();
+
+/// Prediction address generation: short loop over motion vectors.
+[[nodiscard]] Kernel mpegAddrKernel();
+
+/// Motion-compensated block fetch: 8x8 blocks read at a motion-vector
+/// offset inside the reference frame (row-strided).
+[[nodiscard]] Kernel mpegFetchKernel();
+
+/// Half-pel interpolation: four-tap neighborhood average per pixel.
+[[nodiscard]] Kernel mpegComputeKernel();
+
+/// One kernel plus how often the decoder invokes it per frame.
+struct WeightedKernel {
+  Kernel kernel;
+  std::uint64_t trips = 1;
+};
+
+/// All nine kernels with their per-frame trip counts, in the order of
+/// the paper's Figure 10 (VLD, Dequant, IDCT, Plus, Display, Store,
+/// Addr, Fetch, Compute).
+[[nodiscard]] std::vector<WeightedKernel> mpegDecoderKernels();
+
+}  // namespace memx

@@ -1,0 +1,77 @@
+#include "memx/loopir/affine.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+AffineExpr AffineExpr::var(std::size_t dim, std::int64_t coeff) {
+  AffineExpr e;
+  e.coeffs.assign(dim + 1, 0);
+  e.coeffs[dim] = coeff;
+  return e;
+}
+
+std::int64_t AffineExpr::eval(std::span<const std::int64_t> iv) const {
+  std::int64_t v = constant;
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    if (coeffs[k] == 0) continue;
+    MEMX_EXPECTS(k < iv.size(),
+                 "affine expression references a loop deeper than the "
+                 "iteration vector");
+    v += coeffs[k] * iv[k];
+  }
+  return v;
+}
+
+bool AffineExpr::isConstant() const noexcept {
+  return std::all_of(coeffs.begin(), coeffs.end(),
+                     [](std::int64_t c) { return c == 0; });
+}
+
+AffineExpr AffineExpr::plus(const AffineExpr& other) const {
+  AffineExpr out;
+  out.constant = constant + other.constant;
+  out.coeffs.assign(std::max(coeffs.size(), other.coeffs.size()), 0);
+  for (std::size_t k = 0; k < coeffs.size(); ++k) out.coeffs[k] = coeffs[k];
+  for (std::size_t k = 0; k < other.coeffs.size(); ++k) {
+    out.coeffs[k] += other.coeffs[k];
+  }
+  return out;
+}
+
+AffineExpr AffineExpr::plusConstant(std::int64_t delta) const {
+  AffineExpr out = *this;
+  out.constant += delta;
+  return out;
+}
+
+std::int64_t AffineExpr::coeff(std::size_t dim) const noexcept {
+  return dim < coeffs.size() ? coeffs[dim] : 0;
+}
+
+std::string AffineExpr::toString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    if (coeffs[k] == 0) continue;
+    if (!first) os << (coeffs[k] > 0 ? " + " : " - ");
+    else if (coeffs[k] < 0) os << '-';
+    const std::int64_t mag = coeffs[k] < 0 ? -coeffs[k] : coeffs[k];
+    if (mag != 1) os << mag << '*';
+    os << 'i' << k;
+    first = false;
+  }
+  if (first) {
+    os << constant;
+  } else if (constant > 0) {
+    os << " + " << constant;
+  } else if (constant < 0) {
+    os << " - " << -constant;
+  }
+  return os.str();
+}
+
+}  // namespace memx

@@ -1,0 +1,53 @@
+// Affine expressions over loop induction variables.
+//
+// Everything the paper analyzes — uniformly generated references,
+// compatibility, tiled loop bounds — is affine in the iteration vector;
+// AffineExpr is the shared representation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace memx {
+
+/// c + sum_k coeffs[k] * iv[k], where iv is the iteration vector of the
+/// enclosing loops (outermost first). Missing trailing coefficients are
+/// treated as zero so expressions survive loop-nest deepening (tiling).
+struct AffineExpr {
+  std::int64_t constant = 0;
+  std::vector<std::int64_t> coeffs;
+
+  AffineExpr() = default;
+  /// Constant expression.
+  explicit AffineExpr(std::int64_t c) : constant(c) {}
+  AffineExpr(std::int64_t c, std::vector<std::int64_t> k)
+      : constant(c), coeffs(std::move(k)) {}
+
+  /// Expression equal to one induction variable: iv[dim].
+  static AffineExpr var(std::size_t dim, std::int64_t coeff = 1);
+
+  /// Value at the given iteration vector. Coefficients beyond iv.size()
+  /// must be zero (checked).
+  [[nodiscard]] std::int64_t eval(std::span<const std::int64_t> iv) const;
+
+  /// True when no induction variable appears (all coefficients zero).
+  [[nodiscard]] bool isConstant() const noexcept;
+
+  /// this + other (element-wise coefficients).
+  [[nodiscard]] AffineExpr plus(const AffineExpr& other) const;
+  /// this + constant delta.
+  [[nodiscard]] AffineExpr plusConstant(std::int64_t delta) const;
+
+  /// Coefficient on dimension `dim` (0 when beyond stored coefficients).
+  [[nodiscard]] std::int64_t coeff(std::size_t dim) const noexcept;
+
+  /// Human-readable form like "2*i0 + i2 - 1" for diagnostics.
+  [[nodiscard]] std::string toString() const;
+
+  [[nodiscard]] friend bool operator==(const AffineExpr&,
+                                       const AffineExpr&) = default;
+};
+
+}  // namespace memx

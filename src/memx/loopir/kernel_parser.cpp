@@ -1,0 +1,319 @@
+#include "memx/loopir/kernel_parser.hpp"
+
+#include <cctype>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace {
+
+enum class TokKind { Name, Number, Symbol, End };
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;
+  std::int64_t number = 0;
+  std::size_t line = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token next() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    MEMX_EXPECTS(false, "kernel parse error (line " +
+                            std::to_string(current_.line) +
+                            "): " + message);
+    std::abort();  // unreachable; MEMX_EXPECTS(false, ...) throws
+  }
+
+private:
+  void advance() {
+    // Skip whitespace and comments.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= text_.size()) {
+      current_.kind = TokKind::End;
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) !=
+                  0 ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      current_.kind = TokKind::Name;
+      current_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::int64_t v = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
+        v = v * 10 + (text_[pos_] - '0');
+        ++pos_;
+      }
+      current_.kind = TokKind::Number;
+      current_.number = v;
+      return;
+    }
+    // Multi-char symbol "..".
+    if (c == '.' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '.') {
+      current_.kind = TokKind::Symbol;
+      current_.text = "..";
+      pos_ += 2;
+      return;
+    }
+    current_.kind = TokKind::Symbol;
+    current_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  Token current_;
+};
+
+class Parser {
+public:
+  Parser(const std::string& text, const std::string& name)
+      : lex_(text), name_(name) {}
+
+  Kernel parse() {
+    Kernel k;
+    k.name = name_;
+    while (isName("array")) parseArrayDecl(k);
+    if (!isName("for")) lex_.fail("expected a 'for' loop");
+    std::vector<Loop> loops;
+    parseLoop(k, loops);
+    k.nest = LoopNest(std::move(loops));
+    if (lex_.peek().kind != TokKind::End) {
+      lex_.fail("unexpected trailing input");
+    }
+    k.validate();
+    return k;
+  }
+
+private:
+  bool isName(const std::string& word) const {
+    return lex_.peek().kind == TokKind::Name && lex_.peek().text == word;
+  }
+  bool isSymbol(const std::string& s) const {
+    return lex_.peek().kind == TokKind::Symbol && lex_.peek().text == s;
+  }
+  void expectSymbol(const std::string& s) {
+    if (!isSymbol(s)) lex_.fail("expected '" + s + "'");
+    lex_.next();
+  }
+  std::string expectName() {
+    if (lex_.peek().kind != TokKind::Name) lex_.fail("expected a name");
+    return lex_.next().text;
+  }
+  std::int64_t expectNumber() {
+    bool negative = false;
+    if (isSymbol("-")) {
+      lex_.next();
+      negative = true;
+    }
+    if (lex_.peek().kind != TokKind::Number) {
+      lex_.fail("expected a number");
+    }
+    const std::int64_t v = lex_.next().number;
+    return negative ? -v : v;
+  }
+
+  void parseArrayDecl(Kernel& k) {
+    lex_.next();  // "array"
+    ArrayDecl decl;
+    decl.name = expectName();
+    if (arrays_.count(decl.name) != 0) {
+      lex_.fail("array '" + decl.name + "' declared twice");
+    }
+    while (isSymbol("[")) {
+      lex_.next();
+      decl.extents.push_back(expectNumber());
+      expectSymbol("]");
+    }
+    if (decl.extents.empty()) {
+      lex_.fail("array '" + decl.name + "' needs at least one dimension");
+    }
+    decl.elemBytes = 1;
+    if (isSymbol(":")) {
+      lex_.next();
+      decl.elemBytes = static_cast<std::uint32_t>(expectNumber());
+    }
+    arrays_[decl.name] = k.arrays.size();
+    k.arrays.push_back(std::move(decl));
+  }
+
+  void parseLoop(Kernel& k, std::vector<Loop>& loops) {
+    lex_.next();  // "for"
+    Loop loop;
+    loop.name = expectName();
+    if (varIndex_.count(loop.name) != 0) {
+      lex_.fail("loop variable '" + loop.name + "' reused");
+    }
+    expectSymbol("=");
+    loop.lower = LoopBound(expectNumber());
+    expectSymbol("..");
+    loop.upper = LoopBound(expectNumber());
+    if (isName("step")) {
+      lex_.next();
+      loop.step = expectNumber();
+      if (loop.step <= 0) lex_.fail("step must be positive");
+    }
+    varIndex_[loop.name] = loops.size();
+    loops.push_back(std::move(loop));
+
+    if (isName("for")) {
+      parseLoop(k, loops);
+      return;
+    }
+    // Statements until EOF.
+    bool any = false;
+    while (lex_.peek().kind == TokKind::Name && !isName("for")) {
+      parseStatement(k);
+      any = true;
+    }
+    if (!any) lex_.fail("loop body needs at least one statement");
+  }
+
+  void parseStatement(Kernel& k) {
+    const ArrayAccess lhs = parseRef();
+    expectSymbol("=");
+    std::vector<ArrayAccess> reads;
+    parseExpr(reads);
+    for (ArrayAccess& r : reads) k.body.push_back(std::move(r));
+    ArrayAccess write = lhs;
+    write.type = AccessType::Write;
+    k.body.push_back(std::move(write));
+  }
+
+  // expr := term (("+"|"-") term)*
+  void parseExpr(std::vector<ArrayAccess>& reads) {
+    parseTerm(reads);
+    while (isSymbol("+") || isSymbol("-")) {
+      lex_.next();
+      parseTerm(reads);
+    }
+  }
+
+  // term := [INT "*"] (ref | INT)
+  void parseTerm(std::vector<ArrayAccess>& reads) {
+    if (lex_.peek().kind == TokKind::Number) {
+      lex_.next();
+      if (isSymbol("*")) {
+        lex_.next();
+      } else {
+        return;  // bare constant
+      }
+    }
+    if (lex_.peek().kind != TokKind::Name) {
+      lex_.fail("expected an array reference");
+    }
+    reads.push_back(parseRef());
+  }
+
+  ArrayAccess parseRef() {
+    const std::string arrayName = expectName();
+    const auto it = arrays_.find(arrayName);
+    if (it == arrays_.end()) {
+      lex_.fail("unknown array '" + arrayName + "'");
+    }
+    ArrayAccess acc;
+    acc.arrayIndex = it->second;
+    if (!isSymbol("[")) lex_.fail("expected '[' after array name");
+    while (isSymbol("[")) {
+      lex_.next();
+      acc.subscripts.push_back(parseAffine());
+      expectSymbol("]");
+    }
+    return acc;
+  }
+
+  // affine := aterm (("+"|"-") aterm)*, aterm := [INT "*"] NAME | INT
+  AffineExpr parseAffine() {
+    AffineExpr e;
+    std::int64_t sign = 1;
+    if (isSymbol("-")) {
+      lex_.next();
+      sign = -1;
+    }
+    e = parseAffineTerm(sign);
+    while (isSymbol("+") || isSymbol("-")) {
+      const std::int64_t s = lex_.next().text == "+" ? 1 : -1;
+      e = e.plus(parseAffineTerm(s));
+    }
+    return e;
+  }
+
+  AffineExpr parseAffineTerm(std::int64_t sign) {
+    if (lex_.peek().kind == TokKind::Number) {
+      const std::int64_t v = lex_.next().number;
+      if (isSymbol("*")) {
+        lex_.next();
+        return AffineExpr::var(expectVar(), sign * v);
+      }
+      return AffineExpr(sign * v);
+    }
+    return AffineExpr::var(expectVar(), sign);
+  }
+
+  std::size_t expectVar() {
+    const std::string var = expectName();
+    const auto it = varIndex_.find(var);
+    if (it == varIndex_.end()) {
+      lex_.fail("unknown loop variable '" + var + "'");
+    }
+    return it->second;
+  }
+
+  Lexer lex_;
+  std::string name_;
+  std::map<std::string, std::size_t> arrays_;
+  std::map<std::string, std::size_t> varIndex_;
+};
+
+}  // namespace
+
+Kernel parseKernel(const std::string& text, const std::string& name) {
+  return Parser(text, name).parse();
+}
+
+Kernel parseKernel(std::istream& is, const std::string& name) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parseKernel(buffer.str(), name);
+}
+
+}  // namespace memx

@@ -1,0 +1,49 @@
+// A small textual front end for kernels.
+//
+// Lets users describe their loop nest in a few lines and run the whole
+// exploration on it (memx_cli explore-file), instead of building the IR
+// by hand:
+//
+//     # Example 1 of the paper
+//     array a[32][32] : 1
+//     for i = 1 .. 31
+//       for j = 1 .. 31
+//         a[i][j] = a[i][j] - a[i-1][j] - a[i][j-1] - 2*a[i-1][j-1]
+//
+// Grammar (line comments with '#'):
+//
+//   file   := decl* loop
+//   decl   := "array" NAME ("[" INT "]")+ [":" INT]      elem bytes, default 1
+//   loop   := "for" NAME "=" INT ".." INT ["step" INT] body
+//   body   := loop | stmt+
+//   stmt   := ref "=" expr
+//   expr   := term (("+" | "-") term)*
+//   term   := [INT "*"] (ref | INT)
+//   ref    := NAME ("[" affine "]")+
+//   affine := aterm (("+" | "-") aterm)*
+//   aterm  := [INT "*"] NAME | INT
+//
+// Semantics: statements execute in order once per innermost iteration;
+// every ref on the right-hand side is a read (in left-to-right order),
+// the left-hand side is a write. Loop variables are the enclosing `for`
+// names, outermost first. Subscripts must be affine in them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// Parse a kernel description. `name` labels the resulting kernel.
+/// Throws memx::ContractViolation with a line number on syntax or
+/// semantic errors (unknown array/variable, rank mismatch, bounds).
+[[nodiscard]] Kernel parseKernel(const std::string& text,
+                                 const std::string& name = "parsed");
+
+/// Parse from a stream (reads to EOF).
+[[nodiscard]] Kernel parseKernel(std::istream& is,
+                                 const std::string& name = "parsed");
+
+}  // namespace memx

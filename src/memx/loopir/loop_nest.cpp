@@ -1,0 +1,91 @@
+#include "memx/loopir/loop_nest.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+std::int64_t LoopBound::evalLower(
+    std::span<const std::int64_t> outer) const {
+  MEMX_EXPECTS(!exprs.empty(), "loop bound has no expressions");
+  std::int64_t v = std::numeric_limits<std::int64_t>::min();
+  for (const AffineExpr& e : exprs) v = std::max(v, e.eval(outer));
+  return v;
+}
+
+std::int64_t LoopBound::evalUpper(
+    std::span<const std::int64_t> outer) const {
+  MEMX_EXPECTS(!exprs.empty(), "loop bound has no expressions");
+  std::int64_t v = std::numeric_limits<std::int64_t>::max();
+  for (const AffineExpr& e : exprs) v = std::min(v, e.eval(outer));
+  return v;
+}
+
+LoopNest::LoopNest(std::vector<Loop> loops) : loops_(std::move(loops)) {
+  for (const Loop& l : loops_) {
+    MEMX_EXPECTS(l.step != 0, "loop step cannot be zero");
+    MEMX_EXPECTS(l.step > 0, "only forward loops are supported");
+    MEMX_EXPECTS(!l.lower.exprs.empty() && !l.upper.exprs.empty(),
+                 "loop bounds must be specified");
+  }
+}
+
+LoopNest LoopNest::rectangular(
+    std::vector<std::pair<std::int64_t, std::int64_t>> bounds) {
+  std::vector<Loop> loops;
+  loops.reserve(bounds.size());
+  std::size_t k = 0;
+  for (const auto& [lo, hi] : bounds) {
+    Loop l;
+    // Built in two steps: GCC 12's -O3 restrict checker false-positives
+    // on operator+(const char*, std::string&&) here.
+    l.name = "i";
+    l.name += std::to_string(k++);
+    l.lower = LoopBound(lo);
+    l.upper = LoopBound(hi);
+    loops.push_back(std::move(l));
+  }
+  return LoopNest(std::move(loops));
+}
+
+bool LoopNest::recurse(
+    std::size_t level, std::vector<std::int64_t>& iv,
+    const std::function<bool(std::span<const std::int64_t>)>& visit) const {
+  if (level == loops_.size()) {
+    return visit(std::span<const std::int64_t>(iv));
+  }
+  const Loop& l = loops_[level];
+  const std::span<const std::int64_t> outer(iv.data(), level);
+  const std::int64_t lo = l.lower.evalLower(outer);
+  const std::int64_t hi = l.upper.evalUpper(outer);
+  for (std::int64_t i = lo; i <= hi; i += l.step) {
+    iv[level] = i;
+    if (!recurse(level + 1, iv, visit)) return false;
+  }
+  return true;
+}
+
+void LoopNest::forEachIteration(
+    const std::function<void(std::span<const std::int64_t>)>& visit) const {
+  std::vector<std::int64_t> iv(loops_.size(), 0);
+  recurse(0, iv, [&](std::span<const std::int64_t> it) {
+    visit(it);
+    return true;
+  });
+}
+
+bool LoopNest::forEachIterationWhile(
+    const std::function<bool(std::span<const std::int64_t>)>& visit) const {
+  std::vector<std::int64_t> iv(loops_.size(), 0);
+  return recurse(0, iv, visit);
+}
+
+std::uint64_t LoopNest::iterationCount() const {
+  std::uint64_t n = 0;
+  forEachIteration([&](std::span<const std::int64_t>) { ++n; });
+  return n;
+}
+
+}  // namespace memx

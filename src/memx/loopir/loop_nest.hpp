@@ -1,0 +1,81 @@
+// Loop nests with affine (possibly min/max-clamped) bounds.
+//
+// Rectangular nests cover the paper's kernels; clamped bounds appear after
+// tiling, whose boundary loops run `for j = t, min(t + B - 1, n)`.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "memx/loopir/affine.hpp"
+
+namespace memx {
+
+/// A loop bound: max of `exprs` for lower bounds, min of `exprs` for upper
+/// bounds (both inclusive). At least one expression is required.
+struct LoopBound {
+  std::vector<AffineExpr> exprs;
+
+  LoopBound() = default;
+  /// Constant bound.
+  explicit LoopBound(std::int64_t c) : exprs{AffineExpr(c)} {}
+  explicit LoopBound(AffineExpr e) : exprs{std::move(e)} {}
+  LoopBound(std::initializer_list<AffineExpr> es) : exprs(es) {}
+
+  /// Evaluate as a lower bound (max over expressions).
+  [[nodiscard]] std::int64_t evalLower(
+      std::span<const std::int64_t> outer) const;
+  /// Evaluate as an upper bound (min over expressions).
+  [[nodiscard]] std::int64_t evalUpper(
+      std::span<const std::int64_t> outer) const;
+};
+
+/// One loop level: `for name = lower, upper, step`.
+struct Loop {
+  std::string name;
+  LoopBound lower;
+  LoopBound upper;
+  std::int64_t step = 1;
+};
+
+/// A perfect nest of loops, outermost first.
+class LoopNest {
+public:
+  LoopNest() = default;
+  explicit LoopNest(std::vector<Loop> loops);
+
+  /// Convenience: a rectangular nest with constant inclusive bounds.
+  /// bounds[k] = {lower, upper} for loop k.
+  static LoopNest rectangular(
+      std::vector<std::pair<std::int64_t, std::int64_t>> bounds);
+
+  [[nodiscard]] std::size_t depth() const noexcept { return loops_.size(); }
+  [[nodiscard]] const Loop& loop(std::size_t k) const { return loops_[k]; }
+  [[nodiscard]] const std::vector<Loop>& loops() const noexcept {
+    return loops_;
+  }
+
+  /// Visit every iteration in lexicographic order; the visitor receives
+  /// the full iteration vector (outermost first).
+  void forEachIteration(
+      const std::function<void(std::span<const std::int64_t>)>& visit) const;
+
+  /// Like forEachIteration, but stops as soon as the visitor returns
+  /// false. Returns false when the walk was cut short.
+  bool forEachIterationWhile(
+      const std::function<bool(std::span<const std::int64_t>)>& visit) const;
+
+  /// Number of iterations executed (product of dynamic trip counts).
+  [[nodiscard]] std::uint64_t iterationCount() const;
+
+private:
+  bool recurse(
+      std::size_t level, std::vector<std::int64_t>& iv,
+      const std::function<bool(std::span<const std::int64_t>)>& visit) const;
+
+  std::vector<Loop> loops_;
+};
+
+}  // namespace memx

@@ -1,0 +1,93 @@
+#include "memx/loopir/memory_layout.hpp"
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+std::uint64_t ArrayPlacement::address(
+    std::span<const std::int64_t> subscripts) const {
+  MEMX_EXPECTS(subscripts.size() == pitches.size(),
+               "subscript count must match placement rank");
+  std::uint64_t addr = baseAddr;
+  for (std::size_t d = 0; d < pitches.size(); ++d) {
+    MEMX_EXPECTS(subscripts[d] >= 0, "negative subscript");
+    addr += static_cast<std::uint64_t>(subscripts[d]) * pitches[d];
+  }
+  return addr;
+}
+
+std::uint64_t ArrayPlacement::spanBytes(const ArrayDecl& decl) const {
+  MEMX_EXPECTS(pitches.size() == decl.extents.size(),
+               "placement rank must match declaration rank");
+  std::uint64_t last = 0;
+  for (std::size_t d = 0; d < pitches.size(); ++d) {
+    last += static_cast<std::uint64_t>(decl.extents[d] - 1) * pitches[d];
+  }
+  return last + decl.elemBytes;
+}
+
+std::vector<std::uint64_t> rowMajorPitches(const ArrayDecl& decl,
+                                           std::uint64_t rowPitchBytes) {
+  const std::size_t rank = decl.extents.size();
+  std::vector<std::uint64_t> pitches(rank, decl.elemBytes);
+  if (rank == 0) return pitches;
+  // Build from innermost outwards.
+  for (std::size_t d = rank; d-- > 0;) {
+    if (d == rank - 1) {
+      pitches[d] = decl.elemBytes;
+    } else if (d == rank - 2 && rowPitchBytes != 0) {
+      MEMX_EXPECTS(rowPitchBytes >= pitches[d + 1] *
+                                        static_cast<std::uint64_t>(
+                                            decl.extents[d + 1]),
+                   "row pitch smaller than the row it must hold");
+      pitches[d] = rowPitchBytes;
+    } else {
+      pitches[d] =
+          pitches[d + 1] * static_cast<std::uint64_t>(decl.extents[d + 1]);
+    }
+  }
+  return pitches;
+}
+
+MemoryLayout MemoryLayout::tight(const Kernel& kernel,
+                                 std::uint64_t startAddr) {
+  std::vector<ArrayPlacement> placements;
+  placements.reserve(kernel.arrays.size());
+  std::uint64_t next = startAddr;
+  for (const ArrayDecl& decl : kernel.arrays) {
+    ArrayPlacement p;
+    p.baseAddr = next;
+    p.pitches = rowMajorPitches(decl);
+    next += decl.sizeBytes();
+    placements.push_back(std::move(p));
+  }
+  return MemoryLayout(std::move(placements));
+}
+
+const ArrayPlacement& MemoryLayout::placement(std::size_t arrayIdx) const {
+  MEMX_EXPECTS(arrayIdx < placements_.size(), "array index out of range");
+  return placements_[arrayIdx];
+}
+
+ArrayPlacement& MemoryLayout::placement(std::size_t arrayIdx) {
+  MEMX_EXPECTS(arrayIdx < placements_.size(), "array index out of range");
+  return placements_[arrayIdx];
+}
+
+std::uint64_t MemoryLayout::address(
+    std::size_t arrayIdx, std::span<const std::int64_t> subscripts) const {
+  return placement(arrayIdx).address(subscripts);
+}
+
+std::uint64_t MemoryLayout::endAddr(const Kernel& kernel) const {
+  MEMX_EXPECTS(placements_.size() == kernel.arrays.size(),
+               "layout does not match kernel arrays");
+  std::uint64_t end = 0;
+  for (std::size_t a = 0; a < placements_.size(); ++a) {
+    end = std::max(end, placements_[a].baseAddr +
+                            placements_[a].spanBytes(kernel.arrays[a]));
+  }
+  return end;
+}
+
+}  // namespace memx

@@ -1,0 +1,205 @@
+#include "memx/loopir/ref_classes.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace {
+
+std::vector<std::int64_t> trimmed(const std::vector<std::int64_t>& v) {
+  std::vector<std::int64_t> out = v;
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+HSignature signatureOf(const ArrayAccess& acc) {
+  HSignature h;
+  h.rows.reserve(acc.subscripts.size());
+  for (const AffineExpr& e : acc.subscripts) h.rows.push_back(trimmed(e.coeffs));
+  return h;
+}
+
+/// Row-major element weights of an array declaration (innermost = 1).
+std::vector<std::int64_t> rowMajorWeights(const ArrayDecl& decl) {
+  std::vector<std::int64_t> w(decl.rank(), 1);
+  for (std::size_t d = decl.rank() - 1; d-- > 0;) {
+    w[d] = w[d + 1] * decl.extents[d + 1];
+  }
+  return w;
+}
+
+std::int64_t flatConstantOffset(const ArrayAccess& acc,
+                                const ArrayDecl& decl) {
+  const auto weights = rowMajorWeights(decl);
+  std::int64_t off = 0;
+  for (std::size_t d = 0; d < acc.subscripts.size(); ++d) {
+    off += acc.subscripts[d].constant * weights[d];
+  }
+  return off;
+}
+
+std::int64_t flatInnerStride(const ArrayAccess& acc, const ArrayDecl& decl,
+                             std::size_t innermostDim) {
+  const auto weights = rowMajorWeights(decl);
+  std::int64_t stride = 0;
+  for (std::size_t d = 0; d < acc.subscripts.size(); ++d) {
+    stride += acc.subscripts[d].coeff(innermostDim) * weights[d];
+  }
+  return stride;
+}
+
+/// Constants of the array dimensions whose subscript does not vary with
+/// the innermost loop (class-splitting key; see RefGroup).
+std::vector<std::int64_t> outerConstantsOf(const ArrayAccess& acc,
+                                           std::size_t innermostDim) {
+  std::vector<std::int64_t> out;
+  for (const AffineExpr& e : acc.subscripts) {
+    if (e.coeff(innermostDim) == 0) out.push_back(e.constant);
+  }
+  return out;
+}
+
+}  // namespace
+
+RefAnalysis analyzeReferences(const Kernel& kernel) {
+  kernel.validate();
+  RefAnalysis out;
+  const std::size_t innermostDim =
+      kernel.nest.depth() == 0 ? 0 : kernel.nest.depth() - 1;
+
+  for (std::size_t i = 0; i < kernel.body.size(); ++i) {
+    const ArrayAccess& acc = kernel.body[i];
+    if (!acc.isAffine()) {
+      out.indirectAccesses.push_back(i);
+      continue;
+    }
+    const ArrayDecl& decl = kernel.arrays[acc.arrayIndex];
+    const HSignature h = signatureOf(acc);
+    const std::vector<std::int64_t> outerC =
+        outerConstantsOf(acc, innermostDim);
+    const std::int64_t off = flatConstantOffset(acc, decl);
+
+    auto it = std::find_if(out.groups.begin(), out.groups.end(),
+                           [&](const RefGroup& g) {
+                             return g.arrayIndex == acc.arrayIndex &&
+                                    g.h == h && g.outerConstants == outerC;
+                           });
+    if (it == out.groups.end()) {
+      RefGroup g;
+      g.arrayIndex = acc.arrayIndex;
+      g.h = h;
+      g.outerConstants = outerC;
+      g.accessIndices.push_back(i);
+      g.minFlatOffset = off;
+      g.maxFlatOffset = off;
+      g.innerStrideElems = flatInnerStride(acc, decl, innermostDim);
+      out.groups.push_back(std::move(g));
+    } else {
+      it->accessIndices.push_back(i);
+      it->minFlatOffset = std::min(it->minFlatOffset, off);
+      it->maxFlatOffset = std::max(it->maxFlatOffset, off);
+    }
+  }
+
+  // Cases: classes sharing one H across arrays.
+  for (std::size_t g = 0; g < out.groups.size(); ++g) {
+    auto it = std::find_if(out.cases.begin(), out.cases.end(),
+                           [&](const RefCase& c) {
+                             return c.h == out.groups[g].h;
+                           });
+    if (it == out.cases.end()) {
+      out.cases.push_back(RefCase{out.groups[g].h, {g}});
+    } else {
+      it->groupIndices.push_back(g);
+    }
+  }
+  return out;
+}
+
+bool compatible(const Kernel& kernel, const ArrayAccess& a,
+                const ArrayAccess& b) {
+  (void)kernel;
+  if (!a.isAffine() || !b.isAffine()) return false;
+  return signatureOf(a) == signatureOf(b);
+}
+
+std::int64_t groupDistance(const RefGroup& group,
+                           std::int64_t innermostStep) {
+  MEMX_EXPECTS(innermostStep > 0, "loop step must be positive");
+  const std::int64_t span = group.spanElems();
+  // Invariant groups touch a single element per traversal.
+  const std::int64_t stride =
+      group.innerStrideElems == 0
+          ? 1
+          : std::abs(group.innerStrideElems) * innermostStep;
+  return span / stride + 1;
+}
+
+std::uint64_t linesNeeded(const RefGroup& group, std::uint32_t lineBytes,
+                          std::uint32_t elemBytes,
+                          std::int64_t innermostStep) {
+  MEMX_EXPECTS(lineBytes >= elemBytes,
+               "line size must hold at least one element");
+  MEMX_EXPECTS(lineBytes % elemBytes == 0,
+               "line size must be a multiple of the element size");
+  const std::int64_t lineElems = lineBytes / elemBytes;
+  const std::int64_t distance = groupDistance(group, innermostStep);
+  const std::int64_t rem = distance % lineElems;
+  const std::int64_t base = distance / lineElems;
+  return static_cast<std::uint64_t>(rem == 0 || rem == 1 ? base + 1
+                                                         : base + 2);
+}
+
+std::uint64_t linesLive(const RefGroup& group, std::uint32_t lineBytes,
+                        std::uint32_t elemBytes,
+                        std::int64_t innermostStep) {
+  MEMX_EXPECTS(lineBytes >= elemBytes,
+               "line size must hold at least one element");
+  const std::int64_t lineElems = lineBytes / elemBytes;
+  const std::int64_t distance = groupDistance(group, innermostStep);
+  // A window of `distance` consecutive elements spans at most
+  // ceil((distance + lineElems - 1) / lineElems) lines.
+  return static_cast<std::uint64_t>((distance + 2 * (lineElems - 1)) /
+                                    lineElems);
+}
+
+std::uint64_t minCacheLines(const Kernel& kernel, std::uint32_t lineBytes) {
+  const RefAnalysis analysis = analyzeReferences(kernel);
+  const std::int64_t step =
+      kernel.nest.depth() == 0
+          ? 1
+          : kernel.nest.loop(kernel.nest.depth() - 1).step;
+  std::uint64_t lines = 0;
+  for (const RefGroup& g : analysis.groups) {
+    lines += linesNeeded(g, lineBytes, kernel.arrays[g.arrayIndex].elemBytes,
+                         step);
+  }
+  // Unanalyzable (indirect) references get one line each as a floor.
+  lines += analysis.indirectAccesses.size();
+  return lines;
+}
+
+std::uint64_t minLiveLines(const Kernel& kernel, std::uint32_t lineBytes) {
+  const RefAnalysis analysis = analyzeReferences(kernel);
+  const std::int64_t step =
+      kernel.nest.depth() == 0
+          ? 1
+          : kernel.nest.loop(kernel.nest.depth() - 1).step;
+  std::uint64_t lines = 0;
+  for (const RefGroup& g : analysis.groups) {
+    lines += linesLive(g, lineBytes, kernel.arrays[g.arrayIndex].elemBytes,
+                       step);
+  }
+  lines += analysis.indirectAccesses.size();
+  return lines;
+}
+
+std::uint64_t minCacheSizeBytes(const Kernel& kernel,
+                                std::uint32_t lineBytes) {
+  return minCacheLines(kernel, lineBytes) * lineBytes;
+}
+
+}  // namespace memx

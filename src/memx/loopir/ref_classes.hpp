@@ -1,0 +1,109 @@
+// Uniformly-generated reference analysis (paper Section 3).
+//
+// Two references a[f(i)] and a[g(i)] are *uniformly generated* when
+// f(i) = H i + c_f and g(i) = H i + c_g for the same linear part H.
+// References with the same H on the same array form a *class*; groups with
+// the same H on different arrays form a *case*. From the constant-vector
+// spread within each class the paper derives the minimum number of cache
+// lines that avoids all intra-class conflicts, and hence the minimum
+// useful cache size (min lines * L).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// The linear part H of a reference: one coefficient row per array
+/// dimension (trailing zero coefficients trimmed so equal maps compare
+/// equal regardless of construction).
+struct HSignature {
+  std::vector<std::vector<std::int64_t>> rows;
+
+  [[nodiscard]] friend bool operator==(const HSignature&,
+                                       const HSignature&) = default;
+};
+
+/// A class of uniformly generated references: same array, same H, and the
+/// same constants on every array dimension that does not vary with the
+/// innermost loop. (The last condition splits Compress's a[i-1][*] row
+/// from its a[i][*] row — the paper's "class 1" and "class 2": references
+/// a whole row apart cannot share cache lines, so they are accounted — and
+/// placed — separately.)
+struct RefGroup {
+  std::size_t arrayIndex = 0;
+  HSignature h;
+  /// Constants of the non-inner-varying dimensions (key component).
+  std::vector<std::int64_t> outerConstants;
+  std::vector<std::size_t> accessIndices;  ///< indices into Kernel::body
+  /// Constant vectors flattened to row-major element offsets.
+  std::int64_t minFlatOffset = 0;
+  std::int64_t maxFlatOffset = 0;
+  /// Flat element stride per unit step of the innermost loop (0 when the
+  /// group is invariant in the innermost loop).
+  std::int64_t innerStrideElems = 0;
+
+  /// Spread of the constant vectors in elements.
+  [[nodiscard]] std::int64_t spanElems() const noexcept {
+    return maxFlatOffset - minFlatOffset;
+  }
+};
+
+/// A case: every class (RefGroup) sharing one H, across arrays.
+struct RefCase {
+  HSignature h;
+  std::vector<std::size_t> groupIndices;  ///< indices into groups
+};
+
+/// Result of partitioning a kernel's references.
+struct RefAnalysis {
+  std::vector<RefGroup> groups;
+  std::vector<RefCase> cases;
+  std::vector<std::size_t> indirectAccesses;  ///< unanalyzable body indices
+};
+
+/// Partition the affine references of `kernel` into classes and cases.
+[[nodiscard]] RefAnalysis analyzeReferences(const Kernel& kernel);
+
+/// The paper's compatibility test: both references affine with the same
+/// linear part (their address difference is independent of the loop
+/// indices). Works across arrays.
+[[nodiscard]] bool compatible(const Kernel& kernel, const ArrayAccess& a,
+                              const ArrayAccess& b);
+
+/// Section-3 distance of one class: floor(|span| / loopStride) + 1.
+[[nodiscard]] std::int64_t groupDistance(const RefGroup& group,
+                                         std::int64_t innermostStep);
+
+/// Cache lines this class needs so its elements never conflict
+/// (the paper's formula: +1 when distance mod L in {0, 1}, else +2,
+/// with L in elements).
+[[nodiscard]] std::uint64_t linesNeeded(const RefGroup& group,
+                                        std::uint32_t lineBytes,
+                                        std::uint32_t elemBytes,
+                                        std::int64_t innermostStep);
+
+/// Tight bound on the lines a class keeps live at once: the worst-case
+/// alignment of a `distance`-element window over lines of `lineBytes`.
+/// (The paper's linesNeeded formula overcounts when a line holds a single
+/// element; feasibility checks use this bound instead.)
+[[nodiscard]] std::uint64_t linesLive(const RefGroup& group,
+                                      std::uint32_t lineBytes,
+                                      std::uint32_t elemBytes,
+                                      std::int64_t innermostStep);
+
+/// Sum of linesNeeded over all classes of `kernel` at line size L.
+[[nodiscard]] std::uint64_t minCacheLines(const Kernel& kernel,
+                                          std::uint32_t lineBytes);
+
+/// Sum of linesLive over all classes (tight feasibility bound).
+[[nodiscard]] std::uint64_t minLiveLines(const Kernel& kernel,
+                                         std::uint32_t lineBytes);
+
+/// minCacheLines * lineBytes: the smallest conflict-avoiding cache.
+[[nodiscard]] std::uint64_t minCacheSizeBytes(const Kernel& kernel,
+                                              std::uint32_t lineBytes);
+
+}  // namespace memx

@@ -1,0 +1,87 @@
+#include "memx/loopir/trace_gen.hpp"
+
+#include <limits>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace {
+
+/// SplitMix64: deterministic hash for indirect-access subscripts.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t indirectElem(const ArrayAccess& acc, const ArrayDecl& decl,
+                           std::span<const std::int64_t> iv) {
+  std::uint64_t h = *acc.indirectSeed;
+  for (const std::int64_t i : iv) {
+    h = mix64(h ^ static_cast<std::uint64_t>(i));
+  }
+  return h % decl.elemCount();
+}
+
+Trace generateUpTo(const Kernel& kernel, const MemoryLayout& layout,
+                   std::size_t maxRefs) {
+  kernel.validate();
+  Trace trace;
+  std::vector<std::int64_t> subs;
+  kernel.nest.forEachIterationWhile(
+      [&](std::span<const std::int64_t> iv) -> bool {
+        for (const ArrayAccess& acc : kernel.body) {
+          if (trace.size() >= maxRefs) return false;
+          const ArrayDecl& decl = kernel.arrays[acc.arrayIndex];
+          std::uint64_t addr = 0;
+          if (acc.isAffine()) {
+            subs.clear();
+            for (std::size_t d = 0; d < acc.subscripts.size(); ++d) {
+              const std::int64_t s = acc.subscripts[d].eval(iv);
+              MEMX_EXPECTS(s >= 0 && s < decl.extents[d],
+                           "subscript out of bounds in kernel " +
+                               kernel.name + " array " + decl.name);
+              subs.push_back(s);
+            }
+            addr = layout.address(acc.arrayIndex, subs);
+          } else {
+            // Data-dependent access: a deterministic pseudo-random
+            // element, addressed through the placement so padding (if
+            // any) is respected.
+            const std::uint64_t elem = indirectElem(acc, decl, iv);
+            subs.assign(decl.rank(), 0);
+            std::uint64_t rest = elem;
+            for (std::size_t d = decl.rank(); d-- > 0;) {
+              const auto extent =
+                  static_cast<std::uint64_t>(decl.extents[d]);
+              subs[d] = static_cast<std::int64_t>(rest % extent);
+              rest /= extent;
+            }
+            addr = layout.placement(acc.arrayIndex).address(subs);
+          }
+          trace.push(MemRef{addr, decl.elemBytes, acc.type});
+        }
+        return trace.size() < maxRefs;
+      });
+  return trace;
+}
+
+}  // namespace
+
+Trace generateTrace(const Kernel& kernel, const MemoryLayout& layout) {
+  return generateUpTo(kernel, layout,
+                      std::numeric_limits<std::size_t>::max());
+}
+
+Trace generateTrace(const Kernel& kernel) {
+  return generateTrace(kernel, MemoryLayout::tight(kernel));
+}
+
+Trace generateTracePrefix(const Kernel& kernel, const MemoryLayout& layout,
+                          std::size_t maxRefs) {
+  return generateUpTo(kernel, layout, maxRefs);
+}
+
+}  // namespace memx

@@ -1,0 +1,31 @@
+// Executes a kernel symbolically and emits its data-reference trace.
+//
+// This is the bridge from the paper's program-level view (loop nests over
+// arrays) to the simulator's view (a byte-address stream): every iteration
+// of the nest emits the body's accesses in program order, addressed
+// through a MemoryLayout.
+#pragma once
+
+#include "memx/loopir/kernel.hpp"
+#include "memx/loopir/memory_layout.hpp"
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Generate the full reference trace of `kernel` under `layout`.
+/// Affine subscripts are range-checked against the array extents
+/// (a violation throws); indirect accesses touch a deterministic
+/// pseudo-random element.
+[[nodiscard]] Trace generateTrace(const Kernel& kernel,
+                                  const MemoryLayout& layout);
+
+/// Generate the trace under the tight (unoptimized) layout.
+[[nodiscard]] Trace generateTrace(const Kernel& kernel);
+
+/// Generate at most the first `maxRefs` references of the kernel's trace
+/// (cheap probe used by layout verification).
+[[nodiscard]] Trace generateTracePrefix(const Kernel& kernel,
+                                        const MemoryLayout& layout,
+                                        std::size_t maxRefs);
+
+}  // namespace memx

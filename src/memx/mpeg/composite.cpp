@@ -1,0 +1,83 @@
+#include "memx/mpeg/composite.hpp"
+
+#include "memx/kernels/mpeg_kernels.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+void CompositeProgram::add(Kernel kernel, std::uint64_t trips) {
+  kernel.validate();
+  MEMX_EXPECTS(trips >= 1, "trip count must be at least 1");
+  kernels_.push_back(std::move(kernel));
+  trips_.push_back(trips);
+}
+
+const Kernel& CompositeProgram::kernel(std::size_t i) const {
+  MEMX_EXPECTS(i < kernels_.size(), "kernel index out of range");
+  return kernels_[i];
+}
+
+std::uint64_t CompositeProgram::trips(std::size_t i) const {
+  MEMX_EXPECTS(i < trips_.size(), "kernel index out of range");
+  return trips_[i];
+}
+
+ExplorationResult combineResults(
+    const std::string& name,
+    const std::vector<ExplorationResult>& perKernel,
+    const std::vector<std::uint64_t>& trips) {
+  MEMX_EXPECTS(!perKernel.empty(), "nothing to combine");
+  MEMX_EXPECTS(perKernel.size() == trips.size(),
+               "one trip count per kernel result required");
+
+  ExplorationResult out;
+  out.workload = name;
+
+  double totalTrips = 0.0;
+  for (const std::uint64_t t : trips) {
+    totalTrips += static_cast<double>(t);
+  }
+
+  // The grid of the first result defines the combined grid; every other
+  // result must contain each key (same sweep ranges).
+  for (const DesignPoint& head : perKernel.front().points) {
+    DesignPoint combined;
+    combined.key = head.key;
+    double weightedMiss = 0.0;
+    for (std::size_t j = 0; j < perKernel.size(); ++j) {
+      const DesignPoint& p = perKernel[j].at(head.key);
+      const double w = static_cast<double>(trips[j]);
+      weightedMiss += p.missRate * w;
+      combined.cycles += p.cycles * w;
+      combined.energyNj += p.energyNj * w;
+      combined.accesses += p.accesses * trips[j];
+    }
+    combined.missRate = weightedMiss / totalTrips;
+    out.points.push_back(combined);
+  }
+  return out;
+}
+
+CompositeProgram::Result CompositeProgram::explore(
+    const Explorer& explorer) const {
+  MEMX_EXPECTS(!kernels_.empty(), "composite program has no kernels");
+  Result result;
+  result.tripCounts = trips_;
+  result.perKernel.reserve(kernels_.size());
+  for (const Kernel& k : kernels_) {
+    result.perKernel.push_back(explorer.explore(k));
+  }
+  result.combined = combineResults(name_, result.perKernel, trips_);
+  return result;
+}
+
+CompositeProgram mpegDecoder() {
+  CompositeProgram program("mpeg-decoder");
+  std::vector<WeightedKernel> ks = mpegDecoderKernels();
+  for (WeightedKernel& wk : ks) {
+    program.add(std::move(wk.kernel), wk.trips);
+  }
+  return program;
+}
+
+}  // namespace memx

@@ -1,0 +1,65 @@
+// Whole-program exploration from kernel records (paper Section 5).
+//
+// A large program is a set of kernels j with trip counts trip(j); for each
+// shared cache configuration the program-level metrics are
+//
+//   MISS_R = sum_j mr(j)*trip(j) / sum_j trip(j)
+//   CYCLES = sum_j C(j)*trip(j)
+//   ENERGY = sum_j E(j)*trip(j)
+//
+// which is exactly how the paper combines the MPEG decoder's kernels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memx/core/explorer.hpp"
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// A program built from weighted kernels.
+class CompositeProgram {
+public:
+  explicit CompositeProgram(std::string name) : name_(std::move(name)) {}
+
+  /// Add a kernel invoked `trips` times per program run.
+  void add(Kernel kernel, std::uint64_t trips);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t kernelCount() const noexcept {
+    return kernels_.size();
+  }
+  [[nodiscard]] const Kernel& kernel(std::size_t i) const;
+  [[nodiscard]] std::uint64_t trips(std::size_t i) const;
+
+  /// Exploration of the composite plus each constituent.
+  struct Result {
+    ExplorationResult combined;
+    std::vector<ExplorationResult> perKernel;
+    std::vector<std::uint64_t> tripCounts;
+  };
+
+  /// Sweep every kernel with `explorer` and fold the records together.
+  /// All kernels share the explorer's sweep grid, so every combined point
+  /// aggregates a record from every kernel.
+  [[nodiscard]] Result explore(const Explorer& explorer) const;
+
+private:
+  std::string name_;
+  std::vector<Kernel> kernels_;
+  std::vector<std::uint64_t> trips_;
+};
+
+/// Fold already-computed per-kernel sweeps (same grid) into program-level
+/// design points using the paper's trip-weighted formulas.
+[[nodiscard]] ExplorationResult combineResults(
+    const std::string& name,
+    const std::vector<ExplorationResult>& perKernel,
+    const std::vector<std::uint64_t>& trips);
+
+/// The Section-5 MPEG decoder assembled from the nine modeled kernels.
+[[nodiscard]] CompositeProgram mpegDecoder();
+
+}  // namespace memx

@@ -1,0 +1,122 @@
+#include "memx/report/result_io.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace {
+
+constexpr const char* kHeader =
+    "workload,cache,line,assoc,tiling,accesses,miss_rate,cycles,"
+    "energy_nj";
+
+std::vector<std::string> splitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+/// Escape the few JSON-special characters a workload name could contain.
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void writeResultCsv(std::ostream& os, const ExplorationResult& result) {
+  // Full round-trip fidelity for the floating-point fields.
+  os << std::setprecision(17);
+  os << kHeader << '\n';
+  for (const DesignPoint& p : result.points) {
+    os << result.workload << ',' << p.key.cacheBytes << ','
+       << p.key.lineBytes << ',' << p.key.associativity << ','
+       << p.key.tiling << ',' << p.accesses << ',' << p.missRate << ','
+       << p.cycles << ',' << p.energyNj << '\n';
+  }
+}
+
+ExplorationResult readResultCsv(std::istream& is) {
+  std::string line;
+  MEMX_EXPECTS(std::getline(is, line) && line == kHeader,
+               "missing or wrong exploration-CSV header");
+  ExplorationResult result;
+  std::size_t lineNo = 1;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = splitCsvLine(line);
+    MEMX_EXPECTS(cells.size() == 9, "exploration-CSV row " +
+                                        std::to_string(lineNo) +
+                                        " has wrong column count");
+    DesignPoint p;
+    try {
+      if (result.workload.empty()) result.workload = cells[0];
+      p.key.cacheBytes = static_cast<std::uint32_t>(std::stoul(cells[1]));
+      p.key.lineBytes = static_cast<std::uint32_t>(std::stoul(cells[2]));
+      p.key.associativity =
+          static_cast<std::uint32_t>(std::stoul(cells[3]));
+      p.key.tiling = static_cast<std::uint32_t>(std::stoul(cells[4]));
+      p.accesses = std::stoull(cells[5]);
+      p.missRate = std::stod(cells[6]);
+      p.cycles = std::stod(cells[7]);
+      p.energyNj = std::stod(cells[8]);
+    } catch (const std::exception&) {
+      MEMX_EXPECTS(false, "exploration-CSV row " + std::to_string(lineNo) +
+                              " has a malformed field");
+    }
+    result.points.push_back(p);
+  }
+  return result;
+}
+
+void writeResultJson(std::ostream& os, const ExplorationResult& result) {
+  os << std::setprecision(17);
+  os << "{\"workload\": \"" << jsonEscape(result.workload)
+     << "\", \"points\": [";
+  bool first = true;
+  for (const DesignPoint& p : result.points) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"cache\": " << p.key.cacheBytes
+       << ", \"line\": " << p.key.lineBytes
+       << ", \"assoc\": " << p.key.associativity
+       << ", \"tiling\": " << p.key.tiling
+       << ", \"accesses\": " << p.accesses
+       << ", \"miss_rate\": " << p.missRate
+       << ", \"cycles\": " << p.cycles
+       << ", \"energy_nj\": " << p.energyNj << "}";
+  }
+  os << "]}";
+}
+
+std::string toCsvString(const ExplorationResult& result) {
+  std::ostringstream os;
+  writeResultCsv(os, result);
+  return os.str();
+}
+
+ExplorationResult fromCsvString(const std::string& text) {
+  std::istringstream is(text);
+  return readResultCsv(is);
+}
+
+std::string toJsonString(const ExplorationResult& result) {
+  std::ostringstream os;
+  writeResultJson(os, result);
+  return os.str();
+}
+
+}  // namespace memx

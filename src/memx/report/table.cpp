@@ -1,0 +1,101 @@
+#include "memx/report/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MEMX_EXPECTS(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  MEMX_EXPECTS(cells.size() == headers_.size(),
+               "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  MEMX_EXPECTS(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+std::string Table::toString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w;
+  os << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::writeCsv(std::ostream& os) const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << quote(cells[c]);
+      if (c + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmtFixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+std::string fmtSig3(double v) {
+  if (v == 0.0) return "0";
+  const double mag = std::abs(v);
+  const int exponent = static_cast<int>(std::floor(std::log10(mag)));
+  const int decimals = std::max(0, 2 - exponent);
+  const double scale = std::pow(10.0, exponent - 2);
+  const double rounded = std::round(v / scale) * scale;
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << rounded;
+  std::string s = os.str();
+  // Trim trailing zeros after a decimal point ("0.9690" -> "0.969").
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace memx

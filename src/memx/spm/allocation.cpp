@@ -1,0 +1,89 @@
+#include "memx/spm/allocation.hpp"
+
+#include <algorithm>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+std::vector<ArrayUsage> profileArrayUsage(const Kernel& kernel) {
+  kernel.validate();
+  const std::uint64_t iterations = kernel.nest.iterationCount();
+  std::vector<ArrayUsage> usages(kernel.arrays.size());
+  for (std::size_t a = 0; a < kernel.arrays.size(); ++a) {
+    usages[a].arrayIndex = a;
+    usages[a].sizeBytes = kernel.arrays[a].sizeBytes();
+  }
+  for (const ArrayAccess& acc : kernel.body) {
+    usages[acc.arrayIndex].accesses += iterations;
+  }
+  return usages;
+}
+
+bool SpmAllocation::contains(std::size_t arrayIndex) const noexcept {
+  return std::find(arrayIndices.begin(), arrayIndices.end(), arrayIndex) !=
+         arrayIndices.end();
+}
+
+SpmAllocation allocateGreedy(const std::vector<ArrayUsage>& usages,
+                             std::uint64_t capacityBytes) {
+  std::vector<ArrayUsage> sorted = usages;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ArrayUsage& x, const ArrayUsage& y) {
+              if (x.density() != y.density()) {
+                return x.density() > y.density();
+              }
+              return x.arrayIndex < y.arrayIndex;
+            });
+  SpmAllocation alloc;
+  for (const ArrayUsage& u : sorted) {
+    if (u.sizeBytes == 0 || u.accesses == 0) continue;
+    if (alloc.usedBytes + u.sizeBytes > capacityBytes) continue;
+    alloc.arrayIndices.push_back(u.arrayIndex);
+    alloc.usedBytes += u.sizeBytes;
+    alloc.capturedAccesses += u.accesses;
+  }
+  std::sort(alloc.arrayIndices.begin(), alloc.arrayIndices.end());
+  return alloc;
+}
+
+SpmAllocation allocateOptimal(const std::vector<ArrayUsage>& usages,
+                              std::uint64_t capacityBytes) {
+  MEMX_EXPECTS(capacityBytes <= (1u << 16),
+               "knapsack capacity too large for the byte-level DP");
+  const std::size_t cap = static_cast<std::size_t>(capacityBytes);
+  const std::size_t n = usages.size();
+
+  // Full DP table for exact backtracking: dp[i][c] = best profit using
+  // the first i items with capacity c.
+  std::vector<std::vector<std::uint64_t>> dp(
+      n + 1, std::vector<std::uint64_t>(cap + 1, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const ArrayUsage& u = usages[i];
+    const bool usable =
+        u.sizeBytes > 0 && u.sizeBytes <= cap && u.accesses > 0;
+    const std::size_t w =
+        usable ? static_cast<std::size_t>(u.sizeBytes) : 0;
+    for (std::size_t c = 0; c <= cap; ++c) {
+      dp[i + 1][c] = dp[i][c];
+      if (usable && c >= w) {
+        dp[i + 1][c] =
+            std::max(dp[i + 1][c], dp[i][c - w] + u.accesses);
+      }
+    }
+  }
+
+  SpmAllocation alloc;
+  std::size_t c = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (dp[i + 1][c] == dp[i][c]) continue;  // item i not taken
+    alloc.arrayIndices.push_back(usages[i].arrayIndex);
+    alloc.usedBytes += usages[i].sizeBytes;
+    alloc.capturedAccesses += usages[i].accesses;
+    c -= static_cast<std::size_t>(usages[i].sizeBytes);
+  }
+  std::sort(alloc.arrayIndices.begin(), alloc.arrayIndices.end());
+  return alloc;
+}
+
+}  // namespace memx

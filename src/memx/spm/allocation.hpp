@@ -1,0 +1,54 @@
+// Array-to-scratchpad allocation.
+//
+// Panda-Dutt-Nicolau style: each array is a candidate for the scratchpad
+// with profit = number of accesses it would capture and weight = its
+// size in bytes; picking the best subset under the SPM capacity is a 0/1
+// knapsack. Both the classic greedy-by-density heuristic and the exact
+// dynamic program are provided (capacities are small enough for DP).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// Static usage profile of one kernel array.
+struct ArrayUsage {
+  std::size_t arrayIndex = 0;
+  std::uint64_t sizeBytes = 0;
+  std::uint64_t accesses = 0;  ///< references over the whole execution
+
+  /// Accesses captured per byte of scratchpad spent.
+  [[nodiscard]] double density() const noexcept {
+    return sizeBytes == 0 ? 0.0
+                          : static_cast<double>(accesses) /
+                                static_cast<double>(sizeBytes);
+  }
+};
+
+/// Count each array's accesses analytically (iterations x references per
+/// iteration; indirect references count toward their target array).
+[[nodiscard]] std::vector<ArrayUsage> profileArrayUsage(
+    const Kernel& kernel);
+
+/// A chosen subset of arrays.
+struct SpmAllocation {
+  std::vector<std::size_t> arrayIndices;  ///< arrays placed in the SPM
+  std::uint64_t usedBytes = 0;
+  std::uint64_t capturedAccesses = 0;
+
+  [[nodiscard]] bool contains(std::size_t arrayIndex) const noexcept;
+};
+
+/// Greedy: sort by density, take what fits. O(n log n).
+[[nodiscard]] SpmAllocation allocateGreedy(
+    const std::vector<ArrayUsage>& usages, std::uint64_t capacityBytes);
+
+/// Exact 0/1 knapsack by dynamic programming over bytes.
+/// O(n * capacity); capacities here are at most a few KiB.
+[[nodiscard]] SpmAllocation allocateOptimal(
+    const std::vector<ArrayUsage>& usages, std::uint64_t capacityBytes);
+
+}  // namespace memx

@@ -1,0 +1,27 @@
+#include "memx/spm/scratchpad.hpp"
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+void ScratchpadConfig::validate() const {
+  MEMX_EXPECTS(isPow2(sizeBytes), "scratchpad size must be a power of two");
+  MEMX_EXPECTS(sizeBytes >= 4, "scratchpad must hold at least one word");
+}
+
+void ScratchpadCostModel::validate() const {
+  MEMX_EXPECTS(betaPj > 0, "beta must be positive");
+  MEMX_EXPECTS(efficiency > 0 && efficiency <= 1,
+               "efficiency must be in (0, 1]");
+  MEMX_EXPECTS(accessCycles > 0, "access latency must be positive");
+}
+
+double ScratchpadCostModel::accessEnergyNj(
+    const ScratchpadConfig& config) const {
+  config.validate();
+  validate();
+  return efficiency * betaPj * 8.0 * config.sizeBytes * 1e-3;
+}
+
+}  // namespace memx

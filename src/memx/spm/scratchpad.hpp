@@ -1,0 +1,39 @@
+// Scratchpad memory (SPM) modeling.
+//
+// The paper's lineage (Panda, Dutt & Nicolau) explores *software-managed*
+// on-chip SRAM as the alternative to a cache: arrays mapped to the
+// scratchpad are guaranteed on-chip hits at SRAM cost, everything else
+// goes through the data cache. This module models the scratchpad itself;
+// the allocation policy lives in spm/allocation.hpp and the combined
+// cache+SPM exploration in spm/spm_explorer.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace memx {
+
+/// An on-chip software-managed SRAM.
+struct ScratchpadConfig {
+  std::uint32_t sizeBytes = 256;
+
+  void validate() const;
+};
+
+/// Per-access energy/latency model of the scratchpad. The array has no
+/// tags, no comparators and no miss path, so an access costs a fixed
+/// fraction of an equal-capacity cache's cell energy (Banakar et al.
+/// measured ~40% savings; `efficiency` = energy relative to the cache).
+struct ScratchpadCostModel {
+  double betaPj = 2.0;     ///< pJ per cell unit (same beta as the cache)
+  double efficiency = 0.6; ///< SPM access energy / cache hit energy
+  double accessCycles = 1.0;  ///< SPM access latency
+
+  void validate() const;
+
+  /// Energy of one scratchpad access in nJ (capacity-proportional, like
+  /// the cache's E_cell, scaled by `efficiency`).
+  [[nodiscard]] double accessEnergyNj(
+      const ScratchpadConfig& config) const;
+};
+
+}  // namespace memx

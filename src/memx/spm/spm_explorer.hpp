@@ -1,0 +1,54 @@
+// Combined scratchpad + cache exploration (Panda-Dutt style).
+//
+// Given an on-chip SRAM budget, split it between a software-managed
+// scratchpad (holding whole arrays, chosen by knapsack) and a data cache
+// (serving everything else), and evaluate each split with the paper's
+// cycle and energy models. This is exactly the exploration the paper's
+// predecessor work performs, layered on this library's substrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memx/core/explorer.hpp"
+#include "memx/spm/allocation.hpp"
+#include "memx/spm/scratchpad.hpp"
+
+namespace memx {
+
+/// Evaluation of one (SPM size, cache config) split.
+struct SplitResult {
+  std::uint32_t spmBytes = 0;   ///< 0 = cache-only
+  CacheConfig cache;
+  std::vector<std::string> spmArrays;  ///< names of arrays in the SPM
+  std::uint64_t totalAccesses = 0;
+  std::uint64_t spmAccesses = 0;   ///< captured by the scratchpad
+  double cacheMissRate = 0.0;      ///< among cache-served accesses only
+  double cycles = 0.0;             ///< SPM + cache combined
+  double energyNj = 0.0;           ///< SPM + cache combined
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Options of a split evaluation.
+struct SpmSplitOptions {
+  ExploreOptions base;          ///< cache-side models and layout policy
+  ScratchpadCostModel spmCost;  ///< scratchpad energy/latency
+};
+
+/// Evaluate one split: allocate arrays into `spm` by exact knapsack, run
+/// the remaining accesses through `cache`, combine metrics.
+[[nodiscard]] SplitResult evaluateSplit(const Kernel& kernel,
+                                        const ScratchpadConfig& spm,
+                                        const CacheConfig& cache,
+                                        const SpmSplitOptions& options = {});
+
+/// Sweep all power-of-two budget splits (spm, cache) with
+/// spm + cache == budgetBytes (spm = 0 means cache-only; cache is at
+/// least 16 bytes). The cache uses line size `lineBytes`, direct-mapped.
+[[nodiscard]] std::vector<SplitResult> exploreBudgetSplits(
+    const Kernel& kernel, std::uint32_t budgetBytes,
+    std::uint32_t lineBytes, const SpmSplitOptions& options = {});
+
+}  // namespace memx

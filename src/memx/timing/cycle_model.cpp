@@ -1,0 +1,67 @@
+#include "memx/timing/cycle_model.hpp"
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+void TimingParams::validate() const {
+  MEMX_EXPECTS(!hitCyclesByAssoc.empty(), "hit-cycle table is empty");
+  MEMX_EXPECTS(!missCyclesByLine.empty(), "miss-cycle table is empty");
+  for (double v : hitCyclesByAssoc) {
+    MEMX_EXPECTS(v > 0, "hit cycles must be positive");
+  }
+  for (double v : missCyclesByLine) {
+    MEMX_EXPECTS(v > 0, "miss cycles must be positive");
+  }
+}
+
+CycleModel::CycleModel(TimingParams params) : params_(std::move(params)) {
+  params_.validate();
+}
+
+double CycleModel::cyclesPerHit(std::uint32_t associativity) const {
+  MEMX_EXPECTS(isPow2(associativity),
+               "associativity must be a power of two");
+  const unsigned idx = log2Exact(associativity);
+  MEMX_EXPECTS(idx < params_.hitCyclesByAssoc.size(),
+               "associativity exceeds the tabulated range (max 8-way)");
+  return params_.hitCyclesByAssoc[idx];
+}
+
+double CycleModel::cyclesPerMiss(std::uint32_t lineBytes) const {
+  MEMX_EXPECTS(isPow2(lineBytes), "line size must be a power of two");
+  MEMX_EXPECTS(lineBytes >= 4, "line size below the tabulated range");
+  const unsigned idx = log2Exact(lineBytes) - 2;
+  MEMX_EXPECTS(idx < params_.missCyclesByLine.size(),
+               "line size exceeds the tabulated range (max 256 bytes)");
+  return params_.missCyclesByLine[idx];
+}
+
+CycleBreakdown CycleModel::breakdown(std::uint64_t accesses,
+                                     double missRate,
+                                     const CacheConfig& config,
+                                     std::uint32_t tilingSize) const {
+  MEMX_EXPECTS(missRate >= 0.0 && missRate <= 1.0,
+               "miss rate must be in [0,1]");
+  MEMX_EXPECTS(tilingSize >= 1, "tiling size must be at least 1");
+  const double n = static_cast<double>(accesses);
+  CycleBreakdown b;
+  b.hitCycles = (1.0 - missRate) * n * cyclesPerHit(config.associativity);
+  b.missCycles =
+      missRate * n * (tilingSize + cyclesPerMiss(config.lineBytes));
+  return b;
+}
+
+double CycleModel::cycles(std::uint64_t accesses, double missRate,
+                          const CacheConfig& config,
+                          std::uint32_t tilingSize) const {
+  return breakdown(accesses, missRate, config, tilingSize).total();
+}
+
+double CycleModel::cycles(const CacheStats& stats, const CacheConfig& config,
+                          std::uint32_t tilingSize) const {
+  return cycles(stats.accesses(), stats.missRate(), config, tilingSize);
+}
+
+}  // namespace memx

@@ -1,0 +1,78 @@
+// The paper's processor-cycle model (Section 2.2).
+//
+// Taken from Hennessy & Patterson (2nd ed.):
+//  - cycles per hit: 1, 1.1, 1.12, 1.14 for 1/2/4/8-way set associativity,
+//  - cycles per miss: 40, 40, 42, 44, 48, 56, 72 for line sizes
+//    4, 8, 16, 32, 64, 128, 256 bytes,
+//  - cycles = hit_rate * trip_count * cycles_per_hit
+//           + miss_rate * trip_count * (tiling_size + cycles_per_miss).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memx/cachesim/cache_config.hpp"
+#include "memx/cachesim/cache_stats.hpp"
+
+namespace memx {
+
+/// Lookup tables of the cycle model; defaults are the paper's values.
+struct TimingParams {
+  /// cycles per hit, indexed by log2(associativity) (1,2,4,8-way).
+  std::vector<double> hitCyclesByAssoc = {1.0, 1.1, 1.12, 1.14};
+  /// cycles per miss, indexed by log2(lineBytes) - 2 (4...256 bytes).
+  std::vector<double> missCyclesByLine = {40, 40, 42, 44, 48, 56, 72};
+
+  void validate() const;
+};
+
+/// Hit/miss cycle split of one run.
+struct CycleBreakdown {
+  double hitCycles = 0.0;
+  double missCycles = 0.0;
+  [[nodiscard]] double total() const noexcept {
+    return hitCycles + missCycles;
+  }
+};
+
+/// Evaluates the cycle model for power-of-two associativities (<= 8)
+/// and line sizes in [4, 256] bytes.
+class CycleModel {
+public:
+  CycleModel() = default;
+  explicit CycleModel(TimingParams params);
+
+  /// Cycles spent per hit at the given associativity. Throws for
+  /// non-power-of-two or > 8-way (the paper caps S at 8).
+  [[nodiscard]] double cyclesPerHit(std::uint32_t associativity) const;
+
+  /// Cycles spent per miss at the given line size. Throws outside the
+  /// tabulated [4, 256]-byte power-of-two range.
+  [[nodiscard]] double cyclesPerMiss(std::uint32_t lineBytes) const;
+
+  /// The paper's cycle formula. `tilingSize` is the B term added to the
+  /// per-miss penalty (B = 1 for untiled code).
+  [[nodiscard]] double cycles(std::uint64_t accesses, double missRate,
+                              const CacheConfig& config,
+                              std::uint32_t tilingSize = 1) const;
+
+  /// Same, split into hit/miss components.
+  [[nodiscard]] CycleBreakdown breakdown(std::uint64_t accesses,
+                                         double missRate,
+                                         const CacheConfig& config,
+                                         std::uint32_t tilingSize = 1) const;
+
+  /// Evaluate directly from simulator statistics.
+  [[nodiscard]] double cycles(const CacheStats& stats,
+                              const CacheConfig& config,
+                              std::uint32_t tilingSize = 1) const;
+
+  [[nodiscard]] const TimingParams& params() const noexcept {
+    return params_;
+  }
+
+private:
+  TimingParams params_;
+};
+
+}  // namespace memx

@@ -1,0 +1,70 @@
+#include "memx/trace/din_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+void writeDin(std::ostream& os, const Trace& trace) {
+  for (const MemRef& ref : trace) {
+    const int label =
+        ref.type == AccessType::Read
+            ? static_cast<int>(DinLabel::Read)
+            : static_cast<int>(DinLabel::Write);
+    os << label << ' ' << std::hex << ref.addr << std::dec << '\n';
+  }
+}
+
+Trace readDin(std::istream& is, std::uint32_t refSize) {
+  MEMX_EXPECTS(refSize > 0, "reference size must be positive");
+  Trace trace;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    // Strip comments and skip blanks.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    int label = -1;
+    std::string addrText;
+    if (!(ls >> label)) continue;  // blank / comment-only line
+    MEMX_EXPECTS(ls >> addrText, "din line " + std::to_string(lineNo) +
+                                     ": missing address");
+    MEMX_EXPECTS(label >= 0 && label <= 2,
+                 "din line " + std::to_string(lineNo) +
+                     ": unknown label " + std::to_string(label));
+    std::uint64_t addr = 0;
+    std::size_t consumed = 0;
+    bool parsed = true;
+    try {
+      addr = std::stoull(addrText, &consumed, 16);
+    } catch (const std::exception&) {
+      parsed = false;
+    }
+    MEMX_EXPECTS(parsed && consumed == addrText.size(),
+                 "din line " + std::to_string(lineNo) + ": bad address " +
+                     addrText);
+    const AccessType type = label == static_cast<int>(DinLabel::Write)
+                                ? AccessType::Write
+                                : AccessType::Read;
+    trace.push(MemRef{addr, refSize, type});
+  }
+  return trace;
+}
+
+std::string toDinString(const Trace& trace) {
+  std::ostringstream os;
+  writeDin(os, trace);
+  return os.str();
+}
+
+Trace fromDinString(const std::string& text, std::uint32_t refSize) {
+  std::istringstream is(text);
+  return readDin(is, refSize);
+}
+
+}  // namespace memx

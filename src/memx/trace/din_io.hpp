@@ -1,0 +1,40 @@
+// Dinero "din" trace format I/O.
+//
+// The paper cites Edler & Hill's Dinero IV as the trace-driven
+// alternative to its closed-form expressions. This module reads and
+// writes the classic din format — one `<label> <hex-address>` pair per
+// line, label 0 = read, 1 = write, 2 = instruction fetch — so traces can
+// be exchanged with Dinero and other academic tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Dinero reference labels.
+enum class DinLabel : int {
+  Read = 0,
+  Write = 1,
+  Ifetch = 2,
+};
+
+/// Write `trace` in din format ("0 1a2b\n" ...). Data accesses map to
+/// labels 0/1; the per-reference size is not representable in din and is
+/// dropped (Dinero assumes word accesses).
+void writeDin(std::ostream& os, const Trace& trace);
+
+/// Parse a din stream. Lines may use any whitespace separation; blank
+/// lines and lines starting with '#' are skipped. Label 2 (ifetch) is
+/// mapped to a read. Throws memx::ContractViolation on malformed input.
+/// `refSize` is the access size to stamp on every reference.
+[[nodiscard]] Trace readDin(std::istream& is, std::uint32_t refSize = 4);
+
+/// Convenience: round-trip through a string (test/bench helper).
+[[nodiscard]] std::string toDinString(const Trace& trace);
+[[nodiscard]] Trace fromDinString(const std::string& text,
+                                  std::uint32_t refSize = 4);
+
+}  // namespace memx

@@ -1,0 +1,64 @@
+#include "memx/trace/generators.hpp"
+
+#include <random>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+Trace stridedTrace(std::uint64_t base, std::size_t count,
+                   std::int64_t strideBytes, std::uint32_t size,
+                   AccessType type) {
+  MEMX_EXPECTS(size > 0, "access size must be positive");
+  Trace t;
+  std::uint64_t addr = base;
+  for (std::size_t i = 0; i < count; ++i) {
+    t.push(MemRef{addr, size, type});
+    addr = static_cast<std::uint64_t>(static_cast<std::int64_t>(addr) +
+                                      strideBytes);
+  }
+  return t;
+}
+
+Trace randomTrace(std::uint64_t base, std::uint64_t spanBytes,
+                  std::size_t count, std::uint64_t seed, std::uint32_t size,
+                  AccessType type) {
+  MEMX_EXPECTS(size > 0, "access size must be positive");
+  MEMX_EXPECTS(spanBytes >= size, "span must hold at least one element");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> dist(0,
+                                                    spanBytes / size - 1);
+  Trace t;
+  for (std::size_t i = 0; i < count; ++i) {
+    t.push(MemRef{base + dist(rng) * size, size, type});
+  }
+  return t;
+}
+
+Trace loopingTrace(std::uint64_t base, std::size_t elems, std::size_t rounds,
+                   std::uint32_t size, AccessType type) {
+  MEMX_EXPECTS(size > 0, "access size must be positive");
+  Trace t;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t i = 0; i < elems; ++i) {
+      t.push(MemRef{base + i * size, size, type});
+    }
+  }
+  return t;
+}
+
+Trace pingPongTrace(std::uint64_t base0, std::uint64_t base1,
+                    std::size_t pairs, std::int64_t strideBytes,
+                    std::uint32_t size) {
+  MEMX_EXPECTS(size > 0, "access size must be positive");
+  Trace t;
+  std::int64_t off = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    t.push(readRef(base0 + static_cast<std::uint64_t>(off), size));
+    t.push(readRef(base1 + static_cast<std::uint64_t>(off), size));
+    off += strideBytes;
+  }
+  return t;
+}
+
+}  // namespace memx

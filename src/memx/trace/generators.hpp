@@ -1,0 +1,40 @@
+// Synthetic trace generators.
+//
+// Used by the test suite (known-answer cache behaviour) and by the
+// ablation benches that need workloads with a controlled locality profile.
+#pragma once
+
+#include <cstdint>
+
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// `count` accesses starting at `base`, advancing by `strideBytes` each time.
+/// stride 0 produces repeated accesses to one address.
+[[nodiscard]] Trace stridedTrace(std::uint64_t base, std::size_t count,
+                                 std::int64_t strideBytes,
+                                 std::uint32_t size = 4,
+                                 AccessType type = AccessType::Read);
+
+/// Uniform-random addresses in [base, base + spanBytes), aligned to `size`.
+/// Deterministic for a given seed.
+[[nodiscard]] Trace randomTrace(std::uint64_t base, std::uint64_t spanBytes,
+                                std::size_t count, std::uint64_t seed,
+                                std::uint32_t size = 4,
+                                AccessType type = AccessType::Read);
+
+/// `rounds` sweeps over a working set of `elems` elements (classic loop
+/// re-traversal; hits once the working set fits the cache).
+[[nodiscard]] Trace loopingTrace(std::uint64_t base, std::size_t elems,
+                                 std::size_t rounds, std::uint32_t size = 4,
+                                 AccessType type = AccessType::Read);
+
+/// Two interleaved streams `base0` and `base1` with the same stride; the
+/// canonical conflict-miss provoker when the bases alias in the cache.
+[[nodiscard]] Trace pingPongTrace(std::uint64_t base0, std::uint64_t base1,
+                                  std::size_t pairs,
+                                  std::int64_t strideBytes,
+                                  std::uint32_t size = 4);
+
+}  // namespace memx

@@ -1,0 +1,40 @@
+// A single memory reference as seen by the data cache.
+//
+// The DAC'99 study is trace-driven in spirit: every metric (miss rate,
+// cycles, energy) is a function of the reference stream a kernel emits.
+// MemRef is the atom of that stream.
+#pragma once
+
+#include <cstdint>
+
+namespace memx {
+
+/// Direction of a data-cache access.
+enum class AccessType : std::uint8_t {
+  Read,
+  Write,
+};
+
+/// One data-memory reference: byte address, access width, direction.
+struct MemRef {
+  std::uint64_t addr = 0;   ///< byte address of the first byte touched
+  std::uint32_t size = 4;   ///< access width in bytes (element size)
+  AccessType type = AccessType::Read;
+
+  [[nodiscard]] friend bool operator==(const MemRef&,
+                                       const MemRef&) = default;
+};
+
+/// Convenience factory for a read reference.
+[[nodiscard]] constexpr MemRef readRef(std::uint64_t addr,
+                                       std::uint32_t size = 4) noexcept {
+  return MemRef{addr, size, AccessType::Read};
+}
+
+/// Convenience factory for a write reference.
+[[nodiscard]] constexpr MemRef writeRef(std::uint64_t addr,
+                                        std::uint32_t size = 4) noexcept {
+  return MemRef{addr, size, AccessType::Write};
+}
+
+}  // namespace memx

@@ -1,0 +1,70 @@
+// In-memory address traces and streaming trace sources.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "memx/trace/memref.hpp"
+
+namespace memx {
+
+/// An ordered sequence of memory references (the unit the cache simulator,
+/// bus monitor and energy accounting all consume).
+class Trace {
+public:
+  Trace() = default;
+  explicit Trace(std::vector<MemRef> refs) : refs_(std::move(refs)) {}
+
+  /// Append one reference to the end of the trace.
+  void push(const MemRef& ref) { refs_.push_back(ref); }
+
+  /// Append every reference of `other`, preserving order.
+  void append(const Trace& other);
+
+  [[nodiscard]] std::size_t size() const noexcept { return refs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return refs_.empty(); }
+  [[nodiscard]] const MemRef& operator[](std::size_t i) const {
+    return refs_[i];
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return refs_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return refs_.end(); }
+
+  [[nodiscard]] const std::vector<MemRef>& refs() const noexcept {
+    return refs_;
+  }
+
+  /// Number of read references.
+  [[nodiscard]] std::size_t readCount() const noexcept;
+  /// Number of write references.
+  [[nodiscard]] std::size_t writeCount() const noexcept;
+
+private:
+  std::vector<MemRef> refs_;
+};
+
+/// Pull-based source of references; lets large synthetic workloads be
+/// simulated without materializing the whole trace.
+class TraceSource {
+public:
+  virtual ~TraceSource() = default;
+  /// Next reference, or nullopt when the stream is exhausted.
+  [[nodiscard]] virtual std::optional<MemRef> next() = 0;
+};
+
+/// Adapts an in-memory Trace to the streaming interface.
+class VectorTraceSource final : public TraceSource {
+public:
+  explicit VectorTraceSource(Trace trace) : trace_(std::move(trace)) {}
+  [[nodiscard]] std::optional<MemRef> next() override;
+
+private:
+  Trace trace_;
+  std::size_t pos_ = 0;
+};
+
+/// Drain a source into an in-memory trace (test/bench helper).
+[[nodiscard]] Trace drain(TraceSource& source);
+
+}  // namespace memx

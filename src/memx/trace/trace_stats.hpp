@@ -1,0 +1,38 @@
+// Static trace statistics: footprint, unique lines, stride histogram.
+// Independent of any cache — these characterize the workload itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Summary statistics of a reference stream.
+struct TraceStats {
+  std::size_t total = 0;            ///< total references
+  std::size_t reads = 0;            ///< read references
+  std::size_t writes = 0;           ///< write references
+  std::uint64_t minAddr = 0;        ///< lowest byte touched
+  std::uint64_t maxAddr = 0;        ///< highest byte touched (inclusive)
+  std::size_t uniqueAddresses = 0;  ///< distinct first-byte addresses
+  std::size_t uniqueLines = 0;      ///< distinct lines at `lineSize`
+  std::uint32_t lineSize = 0;       ///< line size uniqueLines was computed at
+
+  /// Footprint in bytes (span of the address range touched).
+  [[nodiscard]] std::uint64_t footprint() const noexcept {
+    return total == 0 ? 0 : maxAddr - minAddr + 1;
+  }
+};
+
+/// Compute summary statistics; `lineSize` must be a power of two.
+[[nodiscard]] TraceStats computeStats(const Trace& trace,
+                                      std::uint32_t lineSize = 4);
+
+/// Histogram of signed strides between consecutive references
+/// (stride -> occurrence count). Useful for validating kernel generators.
+[[nodiscard]] std::map<std::int64_t, std::size_t> strideHistogram(
+    const Trace& trace);
+
+}  // namespace memx

@@ -1,0 +1,68 @@
+#include "memx/trace/working_set.hpp"
+
+#include <algorithm>
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+ReuseProfile::ReuseProfile(const Trace& trace, std::uint32_t lineBytes) {
+  MEMX_EXPECTS(isPow2(lineBytes), "line size must be a power of two");
+
+  // LRU stack, most recent first.
+  std::vector<std::uint64_t> stack;
+  auto touch = [&](std::uint64_t line) {
+    ++accesses_;
+    const auto it = std::find(stack.begin(), stack.end(), line);
+    if (it == stack.end()) {
+      ++cold_;
+      stack.insert(stack.begin(), line);
+      histogram_.resize(stack.size(), 0);
+      return;
+    }
+    const auto distance =
+        static_cast<std::uint64_t>(it - stack.begin());
+    if (distance >= histogram_.size()) {
+      histogram_.resize(distance + 1, 0);
+    }
+    ++histogram_[distance];
+    stack.erase(it);
+    stack.insert(stack.begin(), line);
+  };
+
+  for (const MemRef& ref : trace) {
+    const std::uint64_t first = ref.addr / lineBytes;
+    const std::uint64_t last = (ref.addr + ref.size - 1) / lineBytes;
+    for (std::uint64_t line = first; line <= last; ++line) touch(line);
+  }
+}
+
+std::uint64_t ReuseProfile::countAtDistance(std::uint64_t d) const {
+  return d < histogram_.size() ? histogram_[d] : 0;
+}
+
+double ReuseProfile::predictedMissRate(std::uint64_t lines) const {
+  if (accesses_ == 0) return 0.0;
+  std::uint64_t hits = 0;
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(lines, histogram_.size());
+  for (std::uint64_t d = 0; d < limit; ++d) hits += histogram_[d];
+  return static_cast<double>(accesses_ - hits) /
+         static_cast<double>(accesses_);
+}
+
+std::uint64_t ReuseProfile::linesForHitRate(double hitFraction) const {
+  MEMX_EXPECTS(hitFraction >= 0.0 && hitFraction <= 1.0,
+               "hit fraction must be in [0,1]");
+  if (accesses_ == 0) return 0;
+  const double needed = hitFraction * static_cast<double>(accesses_);
+  std::uint64_t hits = 0;
+  for (std::uint64_t d = 0; d < histogram_.size(); ++d) {
+    hits += histogram_[d];
+    if (static_cast<double>(hits) >= needed) return d + 1;
+  }
+  return uniqueLines();
+}
+
+}  // namespace memx

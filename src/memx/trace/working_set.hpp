@@ -1,0 +1,54 @@
+// Reuse-distance (LRU stack distance) analysis — Mattson et al. 1970.
+//
+// One pass over a trace yields the miss rate of *every* fully-associative
+// LRU cache size at once: an access at stack distance d hits in any cache
+// of more than d lines. The exploration engine uses simulation for exact
+// per-geometry numbers; this profile provides the capacity-only view —
+// the working-set curve — and a cross-check for the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Stack-distance histogram of one trace at a given line size.
+class ReuseProfile {
+public:
+  /// Compute the profile (O(n * uniqueLines) Mattson stack walk).
+  /// `lineBytes` must be a power of two.
+  ReuseProfile(const Trace& trace, std::uint32_t lineBytes);
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return accesses_;
+  }
+  /// First-touch (infinite-cache) misses.
+  [[nodiscard]] std::uint64_t coldMisses() const noexcept {
+    return cold_;
+  }
+  /// Number of distinct lines in the trace.
+  [[nodiscard]] std::uint64_t uniqueLines() const noexcept {
+    return static_cast<std::uint64_t>(histogram_.size());
+  }
+  /// Accesses with stack distance exactly `d` (0 = re-access of the MRU
+  /// line).
+  [[nodiscard]] std::uint64_t countAtDistance(std::uint64_t d) const;
+
+  /// Predicted miss rate of a fully-associative LRU cache with `lines`
+  /// lines: cold misses plus accesses at distance >= lines.
+  [[nodiscard]] double predictedMissRate(std::uint64_t lines) const;
+
+  /// Smallest number of lines whose predicted hit coverage reaches
+  /// `hitFraction` of all accesses (the working-set knee). Returns
+  /// uniqueLines() when unreachable.
+  [[nodiscard]] std::uint64_t linesForHitRate(double hitFraction) const;
+
+private:
+  std::vector<std::uint64_t> histogram_;  ///< index = stack distance
+  std::uint64_t cold_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace memx

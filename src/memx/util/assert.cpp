@@ -1,0 +1,15 @@
+#include "memx/util/assert.hpp"
+
+#include <sstream>
+
+namespace memx::detail {
+
+void throwContract(const char* what, const char* expr, const char* file,
+                   int line, const std::string& message) {
+  std::ostringstream os;
+  os << what << " violated: " << message << " [" << expr << "] at " << file
+     << ':' << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace memx::detail

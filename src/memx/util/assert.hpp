@@ -1,0 +1,44 @@
+// Contract-checking helpers used at every public API boundary.
+//
+// Following the C++ Core Guidelines (I.6 "Prefer Expects() for expressing
+// preconditions"), argument validation failures throw, so misuse is
+// diagnosable in release builds and testable with gtest.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace memx {
+
+/// Thrown when a caller violates a documented precondition.
+class ContractViolation : public std::invalid_argument {
+public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] void throwContract(const char* what, const char* expr,
+                                const char* file, int line,
+                                const std::string& message);
+}  // namespace detail
+
+}  // namespace memx
+
+/// Validate a documented precondition of a public function.
+/// On failure throws memx::ContractViolation with location information.
+#define MEMX_EXPECTS(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::memx::detail::throwContract("precondition", #cond, __FILE__,         \
+                                    __LINE__, (msg));                        \
+    }                                                                        \
+  } while (false)
+
+/// Validate an internal invariant / postcondition.
+#define MEMX_ENSURES(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::memx::detail::throwContract("postcondition", #cond, __FILE__,        \
+                                    __LINE__, (msg));                        \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,50 @@
+// Small bit-manipulation helpers shared by the cache simulator and the
+// energy model's bus-activity accounting.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace memx {
+
+/// True iff `v` is a (nonzero) power of two.
+[[nodiscard]] constexpr bool isPow2(std::uint64_t v) noexcept {
+  return v != 0 && std::has_single_bit(v);
+}
+
+/// floor(log2(v)) for v > 0.
+[[nodiscard]] constexpr unsigned log2Floor(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v | 1u));
+}
+
+/// Exact log2 of a power of two.
+[[nodiscard]] constexpr unsigned log2Exact(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Reflected-binary (Gray) encoding of `v`. The DAC'99 energy model assumes
+/// Gray-coded address buses, so sequential addresses toggle one wire.
+[[nodiscard]] constexpr std::uint64_t grayEncode(std::uint64_t v) noexcept {
+  return v ^ (v >> 1);
+}
+
+/// Inverse of grayEncode.
+[[nodiscard]] constexpr std::uint64_t grayDecode(std::uint64_t g) noexcept {
+  std::uint64_t v = g;
+  for (unsigned shift = 1; shift < 64; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+/// Number of bus wires that toggle between two consecutive bus values.
+[[nodiscard]] constexpr unsigned hammingDistance(std::uint64_t a,
+                                                 std::uint64_t b) noexcept {
+  return static_cast<unsigned>(std::popcount(a ^ b));
+}
+
+/// Round `v` up to the next multiple of the power-of-two `align`.
+[[nodiscard]] constexpr std::uint64_t alignUp(std::uint64_t v,
+                                              std::uint64_t align) noexcept {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace memx

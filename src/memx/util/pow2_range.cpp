@@ -1,0 +1,17 @@
+#include "memx/util/pow2_range.hpp"
+
+namespace memx {
+
+std::vector<std::uint64_t> pow2Range(std::uint64_t lo, std::uint64_t hi) {
+  MEMX_EXPECTS(isPow2(lo), "pow2Range lower bound must be a power of two");
+  MEMX_EXPECTS(isPow2(hi), "pow2Range upper bound must be a power of two");
+  MEMX_EXPECTS(lo <= hi, "pow2Range requires lo <= hi");
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t v = lo; v <= hi; v <<= 1) {
+    out.push_back(v);
+    if (v > (hi >> 1) && v != hi) break;  // defensive against overflow
+  }
+  return out;
+}
+
+}  // namespace memx

@@ -1,0 +1,19 @@
+// Power-of-two sweep ranges: the MemExplore loops of the paper iterate every
+// parameter "in powers of 2", so ranges of that shape appear throughout the
+// exploration engine and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+
+/// The inclusive power-of-two range [lo, hi], e.g. {4, 8, 16, 32}.
+/// Both endpoints must be powers of two with lo <= hi.
+[[nodiscard]] std::vector<std::uint64_t> pow2Range(std::uint64_t lo,
+                                                   std::uint64_t hi);
+
+}  // namespace memx

@@ -1,0 +1,89 @@
+#include "memx/xform/fusion.hpp"
+
+#include <algorithm>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace {
+
+bool boundsEqual(const LoopBound& x, const LoopBound& y) {
+  return x.exprs == y.exprs;
+}
+
+}  // namespace
+
+bool sameIterationSpace(const Kernel& a, const Kernel& b) {
+  if (a.nest.depth() != b.nest.depth()) return false;
+  for (std::size_t l = 0; l < a.nest.depth(); ++l) {
+    const Loop& la = a.nest.loop(l);
+    const Loop& lb = b.nest.loop(l);
+    if (la.step != lb.step || !boundsEqual(la.lower, lb.lower) ||
+        !boundsEqual(la.upper, lb.upper)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Kernel fuseKernels(const Kernel& a, const Kernel& b) {
+  a.validate();
+  b.validate();
+  MEMX_EXPECTS(sameIterationSpace(a, b),
+               "fusion requires identical iteration spaces");
+
+  Kernel fused;
+  fused.name = a.name + "+" + b.name;
+  fused.nest = a.nest;
+  fused.arrays = a.arrays;
+  fused.body = a.body;
+
+  // Merge b's arrays: share exact matches, append the rest.
+  std::vector<std::size_t> remap(b.arrays.size());
+  for (std::size_t i = 0; i < b.arrays.size(); ++i) {
+    const ArrayDecl& decl = b.arrays[i];
+    const auto it = std::find_if(
+        fused.arrays.begin(), fused.arrays.end(),
+        [&](const ArrayDecl& d) { return d.name == decl.name; });
+    if (it == fused.arrays.end()) {
+      remap[i] = fused.arrays.size();
+      fused.arrays.push_back(decl);
+    } else {
+      MEMX_EXPECTS(it->extents == decl.extents &&
+                       it->elemBytes == decl.elemBytes,
+                   "array '" + decl.name +
+                       "' has conflicting shapes in the fused kernels");
+      remap[i] = static_cast<std::size_t>(it - fused.arrays.begin());
+    }
+  }
+
+  for (ArrayAccess acc : b.body) {
+    acc.arrayIndex = remap[acc.arrayIndex];
+    fused.body.push_back(std::move(acc));
+  }
+  fused.validate();
+  return fused;
+}
+
+std::pair<Kernel, Kernel> distributeKernel(const Kernel& kernel,
+                                            std::size_t splitIndex) {
+  kernel.validate();
+  MEMX_EXPECTS(splitIndex > 0 && splitIndex < kernel.body.size(),
+               "split must leave both halves non-empty");
+  Kernel first = kernel;
+  first.name = kernel.name + "_d1";
+  first.body.assign(kernel.body.begin(),
+                    kernel.body.begin() +
+                        static_cast<std::ptrdiff_t>(splitIndex));
+  Kernel second = kernel;
+  second.name = kernel.name + "_d2";
+  second.body.assign(kernel.body.begin() +
+                         static_cast<std::ptrdiff_t>(splitIndex),
+                     kernel.body.end());
+  first.validate();
+  second.validate();
+  return {std::move(first), std::move(second)};
+}
+
+}  // namespace memx

@@ -1,0 +1,41 @@
+// Loop fusion.
+//
+// Two kernels with identical iteration spaces can be fused into one nest
+// whose body runs both; arrays with the same name and shape are shared.
+// Fusion converts inter-kernel reuse (producer writes an array, consumer
+// reads it a whole kernel later) into intra-iteration reuse the cache
+// can actually capture — the natural companion to the paper's tiling.
+#pragma once
+
+#include <utility>
+
+#include "memx/loopir/kernel.hpp"
+
+namespace memx {
+
+/// True when the two nests have identical depth, bounds and steps
+/// (the structural legality precondition this transform checks; data
+/// dependences are the caller's responsibility, as with tiling).
+[[nodiscard]] bool sameIterationSpace(const Kernel& a, const Kernel& b);
+
+/// Fuse `b` after `a` in one nest. Arrays are merged by (name, extents,
+/// element size): an exact match is shared, a name collision with a
+/// different shape throws. Requires sameIterationSpace(a, b) and
+/// constant loop bounds.
+[[nodiscard]] Kernel fuseKernels(const Kernel& a, const Kernel& b);
+
+/// Loop distribution (fission), the inverse of fusion: split the body at
+/// `splitIndex` into two kernels over the same nest (first gets body
+/// accesses [0, splitIndex), second the rest). Arrays are shared by both
+/// halves. Throws when either half would be empty.
+[[nodiscard]] std::pair<Kernel, Kernel> distributeKernel(
+    const Kernel& kernel, std::size_t splitIndex);
+
+/// Distribution at `splitIndex` is legal iff no dependence runs from the
+/// second statement group back to the first (those pairs would execute
+/// in reverse order once all first-half iterations run before any
+/// second-half iteration).
+[[nodiscard]] bool distributionIsLegal(const Kernel& kernel,
+                                       std::size_t splitIndex);
+
+}  // namespace memx

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/core/analytic_model.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/kernels/mpeg_kernels.hpp"
+#include "memx/layout/offchip_assign.hpp"
+#include "memx/loopir/trace_gen.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig dm(std::uint32_t size, std::uint32_t line) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  return c;
+}
+
+TEST(AnalyticModel, MissRateInUnitRange) {
+  for (const Kernel& k : paperBenchmarks()) {
+    for (const std::uint32_t line : {4u, 8u, 16u}) {
+      const double mr = analyticMissRate(k, dm(128, line));
+      EXPECT_GE(mr, 0.0) << k.name;
+      EXPECT_LE(mr, 1.0) << k.name;
+    }
+  }
+}
+
+TEST(AnalyticModel, LargerLinesLowerStreamingMissRate) {
+  const Kernel k = dequantKernel();
+  const double l4 = analyticMissRate(k, dm(256, 4));
+  const double l16 = analyticMissRate(k, dm(256, 16));
+  EXPECT_GT(l4, l16);
+}
+
+TEST(AnalyticModel, UnoptimizedLayoutPredictsMoreMisses) {
+  const Kernel k = dequantKernel();
+  const double opt = analyticMissRate(k, dm(64, 8), true);
+  const double unopt = analyticMissRate(k, dm(64, 8), false);
+  EXPECT_LT(opt, unopt);
+}
+
+TEST(AnalyticModel, TooSmallCacheDegradesToConflictMode) {
+  const Kernel k = compressKernel();
+  // 2 lines of 4 bytes cannot hold the 4-plus required lines.
+  const double tiny = analyticMissRate(k, dm(8, 4), true);
+  const double roomy = analyticMissRate(k, dm(128, 4), true);
+  EXPECT_GT(tiny, roomy);
+}
+
+TEST(AnalyticModel, MatchesSimulationOnStreamingKernel) {
+  // Dequant with an optimized layout is pure streaming: the closed form
+  // should land close to the simulator.
+  const Kernel k = dequantKernel();
+  const CacheConfig cache = dm(128, 8);
+  const AssignmentPlan plan = assignConflictFree(k, cache);
+  ASSERT_TRUE(plan.complete);
+  const CacheStats sim =
+      simulateTrace(cache, generateTrace(k, plan.layout));
+  const double analytic = analyticMissRate(k, cache, true);
+  EXPECT_NEAR(analytic, sim.missRate(), 0.15);
+}
+
+TEST(AnalyticModel, MatchesSimulationOnCompress) {
+  const Kernel k = compressKernel();
+  const CacheConfig cache = dm(256, 8);
+  const AssignmentPlan plan = assignConflictFree(k, cache);
+  const CacheStats sim =
+      simulateTrace(cache, generateTrace(k, plan.layout));
+  const double analytic = analyticMissRate(k, cache, true);
+  EXPECT_NEAR(analytic, sim.missRate(), 0.2);
+}
+
+TEST(AnalyticModel, IndirectAccessPenalizedBySize) {
+  const Kernel vld = mpegVldKernel();
+  const double small = analyticMissRate(vld, dm(16, 4));
+  const double large = analyticMissRate(vld, dm(1024, 4));
+  EXPECT_GE(small, large);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "memx/energy/area_model.hpp"
+#include "memx/energy/energy_model.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig cfg(std::uint32_t size, std::uint32_t line,
+                std::uint32_t ways = 1) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  c.associativity = ways;
+  return c;
+}
+
+TEST(AreaModel, TagBitsComputed) {
+  // C64L8 direct-mapped: 8 sets (3 bits), 8-byte lines (3 bits).
+  EXPECT_EQ(tagBits(cfg(64, 8), 32), 26u);
+  // Fully associative: no index bits.
+  EXPECT_EQ(tagBits(cfg(64, 8, 8), 32), 29u);
+  // Wider lines shrink the tag.
+  EXPECT_EQ(tagBits(cfg(64, 32), 32), 26u);  // 1 set bit + 5 offset
+}
+
+TEST(AreaModel, TagBitsRejectTinyAddresses) {
+  EXPECT_THROW((void)tagBits(cfg(1024, 4), 8), ContractViolation);
+}
+
+TEST(AreaModel, DataAreaDominates) {
+  const CacheArea a = estimateArea(cfg(1024, 32));
+  EXPECT_GT(a.dataRbe, a.tagRbe);
+  EXPECT_GT(a.dataRbe, a.statusRbe);
+  EXPECT_DOUBLE_EQ(a.totalRbe(),
+                   a.dataRbe + a.tagRbe + a.statusRbe + a.comparatorRbe);
+}
+
+TEST(AreaModel, SmallLinesPayMoreTagOverhead) {
+  const double fine = estimateArea(cfg(256, 4)).overheadRatio();
+  const double coarse = estimateArea(cfg(256, 64)).overheadRatio();
+  EXPECT_GT(fine, coarse);
+  EXPECT_GT(fine, 0.3);  // >30% overhead at 4-byte lines, 32-bit tags
+}
+
+TEST(AreaModel, AreaMonotoneInCapacity) {
+  double prev = 0.0;
+  for (const std::uint32_t size : {16u, 64u, 256u, 1024u}) {
+    const double total = estimateArea(cfg(size, 8)).totalRbe();
+    EXPECT_GT(total, prev);
+    prev = total;
+  }
+}
+
+TEST(AreaModel, AssociativityAddsComparators) {
+  const CacheArea dm1 = estimateArea(cfg(128, 8, 1));
+  const CacheArea sa4 = estimateArea(cfg(128, 8, 4));
+  EXPECT_GT(sa4.comparatorRbe, dm1.comparatorRbe);
+  EXPECT_DOUBLE_EQ(sa4.dataRbe, dm1.dataRbe);
+}
+
+TEST(AreaModel, ParamValidation) {
+  AreaParams p;
+  p.sramCellRbe = 0;
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = AreaParams{};
+  p.addressBits = 4;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(TagEnergy, DisabledByDefault) {
+  EnergyParams p;
+  const CacheEnergyModel m(cfg(64, 8), p, 2.0);
+  EXPECT_DOUBLE_EQ(m.tagEnergyNj(), 0.0);
+  EXPECT_DOUBLE_EQ(m.hitEnergyNj(), m.decodeEnergyNj() + m.cellEnergyNj());
+}
+
+TEST(TagEnergy, EnabledAddsToHitEnergy) {
+  EnergyParams p;
+  p.includeTagArray = true;
+  const CacheEnergyModel m(cfg(64, 8), p, 2.0);
+  EXPECT_GT(m.tagEnergyNj(), 0.0);
+  EXPECT_DOUBLE_EQ(m.hitEnergyNj(), m.decodeEnergyNj() +
+                                        m.cellEnergyNj() +
+                                        m.tagEnergyNj());
+}
+
+TEST(TagEnergy, ShrinksWithNarrowerAddresses) {
+  EnergyParams wide;
+  wide.includeTagArray = true;
+  wide.addressBits = 32;
+  EnergyParams narrow = wide;
+  narrow.addressBits = 16;
+  const CacheEnergyModel mWide(cfg(64, 8), wide, 2.0);
+  const CacheEnergyModel mNarrow(cfg(64, 8), narrow, 2.0);
+  EXPECT_GT(mWide.tagEnergyNj(), mNarrow.tagEnergyNj());
+}
+
+TEST(TagEnergy, RelativeCostFallsWithLineSize) {
+  EnergyParams p;
+  p.includeTagArray = true;
+  const CacheEnergyModel fine(cfg(256, 4), p, 2.0);
+  const CacheEnergyModel coarse(cfg(256, 64), p, 2.0);
+  EXPECT_GT(fine.tagEnergyNj() / fine.cellEnergyNj(),
+            coarse.tagEnergyNj() / coarse.cellEnergyNj());
+}
+
+}  // namespace
+}  // namespace memx

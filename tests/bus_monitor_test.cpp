@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/bus_monitor.hpp"
+#include "memx/trace/generators.hpp"
+
+namespace memx {
+namespace {
+
+TEST(BusMonitor, FirstAccessCausesNoSwitching) {
+  BusMonitor m;
+  m.observe(readRef(12345));
+  EXPECT_EQ(m.stats().accesses, 1u);
+  EXPECT_EQ(m.stats().addrBitSwitches, 0u);
+}
+
+TEST(BusMonitor, GraySequentialTogglesOneWirePerStep) {
+  BusMonitor m(AddressEncoding::Gray);
+  for (std::uint64_t a = 0; a < 100; ++a) m.observe(readRef(a, 1));
+  EXPECT_EQ(m.stats().addrBitSwitches, 99u);
+  EXPECT_NEAR(m.stats().addrSwitchesPerAccess(), 0.99, 1e-12);
+}
+
+TEST(BusMonitor, BinarySequentialTogglesMore) {
+  BusMonitor gray(AddressEncoding::Gray);
+  BusMonitor bin(AddressEncoding::Binary);
+  for (std::uint64_t a = 0; a < 256; ++a) {
+    gray.observe(readRef(a, 1));
+    bin.observe(readRef(a, 1));
+  }
+  // Binary counting toggles ~2 wires per increment on average.
+  EXPECT_GT(bin.stats().addrBitSwitches, gray.stats().addrBitSwitches);
+}
+
+TEST(BusMonitor, RepeatedAddressIsFree) {
+  BusMonitor m;
+  m.observe(stridedTrace(64, 50, 0));
+  EXPECT_EQ(m.stats().addrBitSwitches, 0u);
+}
+
+TEST(BusMonitor, ObserveWholeTrace) {
+  BusMonitor m;
+  m.observe(stridedTrace(0, 10, 4));
+  EXPECT_EQ(m.stats().accesses, 10u);
+}
+
+TEST(BusMonitor, MeasureHelperMatchesMonitor) {
+  const Trace t = randomTrace(0, 4096, 200, 3);
+  BusMonitor m;
+  m.observe(t);
+  EXPECT_DOUBLE_EQ(measureAddrActivity(t),
+                   m.stats().addrSwitchesPerAccess());
+}
+
+TEST(BusMonitor, RandomTrafficSwitchesMoreThanSequential) {
+  const double seq = measureAddrActivity(stridedTrace(0, 1000, 4));
+  const double rnd = measureAddrActivity(randomTrace(0, 65536, 1000, 17));
+  EXPECT_LT(seq, rnd);
+}
+
+}  // namespace
+}  // namespace memx

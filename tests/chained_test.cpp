@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/mpeg/chained.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig dm(std::uint32_t size, std::uint32_t line) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  return c;
+}
+
+TEST(Chained, RejectsEmptyProgram) {
+  CompositeProgram empty("none");
+  EXPECT_THROW(runChained(empty, dm(64, 8)), ContractViolation);
+}
+
+TEST(Chained, SingleKernelSingleTripMatchesCold) {
+  CompositeProgram p("solo");
+  p.add(dequantKernel(), 1);
+  const ChainedRun run = runChained(p, dm(64, 8));
+  EXPECT_NEAR(run.warmMissRate(), run.coldAggregateMissRate, 1e-12);
+  ASSERT_EQ(run.kernelMissRates.size(), 1u);
+  EXPECT_NEAR(run.kernelMissRates[0], run.coldAggregateMissRate, 1e-12);
+}
+
+TEST(Chained, RepeatedKernelWarmsUp) {
+  // A kernel whose working set fits the cache: the second trip is all
+  // hits, so warm << cold.
+  CompositeProgram p("hot");
+  p.add(matrixAddKernel(8, 1), 8);  // 3 x 64-byte arrays, 8 trips
+  const ChainedRun run = runChained(p, dm(512, 8));
+  EXPECT_LT(run.warmMissRate(), run.coldAggregateMissRate / 4);
+}
+
+TEST(Chained, DisjointAddressSpacesPerKernel) {
+  // Two identical kernels must not share arrays: the second kernel's
+  // trace misses (cold region) even though the first just ran.
+  CompositeProgram p("two");
+  p.add(matrixAddKernel(8, 1), 1);
+  p.add(matrixAddKernel(8, 1), 1);
+  const ChainedRun run = runChained(p, dm(4096, 8));
+  ASSERT_EQ(run.kernelMissRates.size(), 2u);
+  EXPECT_NEAR(run.kernelMissRates[0], run.kernelMissRates[1], 1e-12);
+}
+
+TEST(Chained, TotalsAccumulateAllKernels) {
+  CompositeProgram p("pair");
+  p.add(matrixAddKernel(8, 1), 2);
+  p.add(dequantKernel(8), 3);
+  const ChainedRun run = runChained(p, dm(128, 8));
+  const std::uint64_t expected =
+      2 * matrixAddKernel(8, 1).referenceCount() +
+      3 * dequantKernel(8).referenceCount();
+  EXPECT_EQ(run.total.accesses(), expected);
+}
+
+TEST(Chained, MpegDecoderRuns) {
+  const ChainedRun run = runChained(mpegDecoder(), dm(1024, 16));
+  EXPECT_EQ(run.kernelMissRates.size(), 9u);
+  EXPECT_GT(run.total.accesses(), 0u);
+  EXPECT_LE(run.warmMissRate(), 1.0);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "memx/trace/din_io.hpp"
+#include "memx/trace/generators.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+TEST(DinIo, WritesLabelsAndHexAddresses) {
+  Trace t;
+  t.push(readRef(0x1a2b));
+  t.push(writeRef(0xff));
+  EXPECT_EQ(toDinString(t), "0 1a2b\n1 ff\n");
+}
+
+TEST(DinIo, RoundTripsAddressesAndTypes) {
+  const Trace original = randomTrace(0, 1 << 20, 500, 11);
+  const Trace parsed = fromDinString(toDinString(original), 4);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].addr, original[i].addr);
+    EXPECT_EQ(parsed[i].type, original[i].type);
+  }
+}
+
+TEST(DinIo, ParsesIfetchAsRead) {
+  const Trace t = fromDinString("2 400\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].type, AccessType::Read);
+  EXPECT_EQ(t[0].addr, 0x400u);
+}
+
+TEST(DinIo, SkipsBlankAndCommentLines) {
+  const Trace t = fromDinString("# header\n\n0 10\n   \n1 20 # inline\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x10u);
+  EXPECT_EQ(t[1].addr, 0x20u);
+  EXPECT_EQ(t[1].type, AccessType::Write);
+}
+
+TEST(DinIo, StampsRequestedSize) {
+  const Trace t = fromDinString("0 0\n", 8);
+  EXPECT_EQ(t[0].size, 8u);
+}
+
+TEST(DinIo, RejectsMalformedInput) {
+  EXPECT_THROW(fromDinString("9 10\n"), ContractViolation);   // bad label
+  EXPECT_THROW(fromDinString("0\n"), ContractViolation);      // no addr
+  EXPECT_THROW(fromDinString("0 zzz\n"), ContractViolation);  // bad hex
+  EXPECT_THROW(fromDinString("0 10", 0), ContractViolation);  // bad size
+}
+
+TEST(DinIo, WhitespaceVariantsAccepted) {
+  const Trace t = fromDinString("0\t1f\n  1    2A\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x1fu);
+  EXPECT_EQ(t[1].addr, 0x2au);
+}
+
+TEST(DinIo, EmptyInputYieldsEmptyTrace) {
+  EXPECT_TRUE(fromDinString("").empty());
+}
+
+TEST(DinIo, StreamInterface) {
+  std::istringstream is("0 1\n1 2\n");
+  const Trace t = readDin(is);
+  EXPECT_EQ(t.size(), 2u);
+  std::ostringstream os;
+  writeDin(os, t);
+  EXPECT_EQ(os.str(), "0 1\n1 2\n");
+}
+
+}  // namespace
+}  // namespace memx

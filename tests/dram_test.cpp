@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "memx/energy/dram_model.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/trace/generators.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+TEST(Dram, ConfigValidation) {
+  DramConfig c;
+  c.rowBytes = 100;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = DramConfig{};
+  c.rowMissNj = 0.5;  // cheaper than a hit
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = DramConfig{};
+  c.accessBytes = 1024;  // wider than a row
+  c.rowBytes = 512;
+  EXPECT_THROW(c.validate(), ContractViolation);
+}
+
+TEST(Dram, SequentialFillsHitTheOpenRow) {
+  DramModel m(DramConfig{});
+  // 512-byte row, 2-byte accesses: one fill of 32 bytes = 16 accesses,
+  // first one opens the row.
+  m.fill(0, 32);
+  EXPECT_EQ(m.stats().accesses, 16u);
+  EXPECT_EQ(m.stats().rowMisses, 1u);
+  EXPECT_EQ(m.stats().rowHits, 15u);
+  // The next fill in the same row is all hits.
+  m.fill(32, 32);
+  EXPECT_EQ(m.stats().rowMisses, 1u);
+}
+
+TEST(Dram, RowCrossingsPayActivation) {
+  DramConfig c;
+  c.rowBytes = 64;
+  DramModel m(c);
+  m.fill(0, 32);
+  m.fill(64, 32);   // new row
+  m.fill(0, 32);    // back to the first row: another activation
+  EXPECT_EQ(m.stats().rowMisses, 3u);
+}
+
+TEST(Dram, EnergyAccumulates) {
+  DramConfig c;
+  c.rowHitNj = 1.0;
+  c.rowMissNj = 10.0;
+  DramModel m(c);
+  m.fill(0, 8);  // 4 accesses: 1 miss + 3 hits
+  EXPECT_DOUBLE_EQ(m.stats().energyNj, 10.0 + 3.0);
+  EXPECT_DOUBLE_EQ(m.equivalentEmNj(), 13.0 / 4.0);
+}
+
+TEST(Dram, PingPongBetweenRowsIsWorstCase) {
+  DramConfig c;
+  c.rowBytes = 64;
+  c.accessBytes = 2;
+  DramModel m(c);
+  for (int i = 0; i < 10; ++i) {
+    m.fill(0, 2);
+    m.fill(1024, 2);
+  }
+  EXPECT_DOUBLE_EQ(m.stats().rowHitRate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.equivalentEmNj(), c.rowMissNj);
+}
+
+TEST(Dram, ReplayMissStreamSequentialKernelsHitRows) {
+  // Streaming kernels produce sequential miss addresses: high row-hit
+  // rate, so the equivalent Em is near the row-hit energy.
+  CacheConfig cache;
+  cache.sizeBytes = 64;
+  cache.lineBytes = 8;
+  const DramStats s =
+      replayMissStream(cache, generateTrace(dequantKernel()));
+  // One 8-byte fill = 4 accesses; the arrays interleave across rows, so
+  // each fill re-opens its row: exactly 1 miss + 3 hits per fill.
+  EXPECT_GT(s.rowHitRate(), 0.7);
+  DramConfig c;
+  EXPECT_LT(s.energyNj, s.flatEnergyNj(c.rowMissNj));
+}
+
+TEST(Dram, RandomMissStreamNearRowMissEnergy) {
+  CacheConfig cache;
+  cache.sizeBytes = 64;
+  cache.lineBytes = 8;
+  const Trace t = randomTrace(0, 1 << 20, 5000, 3);
+  const DramStats s = replayMissStream(cache, t);
+  // Each 8-byte fill is 4 accesses: 1 row miss + 3 row hits typically.
+  EXPECT_LT(s.rowHitRate(), 0.8);
+  EXPECT_GT(s.rowHitRate(), 0.6);
+}
+
+TEST(Dram, FillSmallerThanAccessRejected) {
+  DramConfig c;
+  c.accessBytes = 8;
+  DramModel m(c);
+  EXPECT_THROW(m.fill(0, 4), ContractViolation);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "memx/energy/energy_model.hpp"
+#include "memx/energy/sram_catalog.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig cfg(std::uint32_t size, std::uint32_t line,
+                std::uint32_t ways = 1) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  c.associativity = ways;
+  return c;
+}
+
+CacheEnergyModel model(std::uint32_t size, std::uint32_t line,
+                       double em = 4.95, std::uint32_t ways = 1) {
+  EnergyParams p;
+  p.emNj = em;
+  return CacheEnergyModel(cfg(size, line, ways), p, 2.0);
+}
+
+TEST(SramCatalog, PaperPartsPresent) {
+  const SramCatalog cat = SramCatalog::paperCatalog();
+  EXPECT_TRUE(cat.contains("CY7C-2Mbit"));
+  EXPECT_DOUBLE_EQ(cat.byName("CY7C-2Mbit").energyPerAccessNj, 4.95);
+  EXPECT_DOUBLE_EQ(cat.byName("SRAM-2Mbit-low").energyPerAccessNj, 2.31);
+  EXPECT_DOUBLE_EQ(cat.byName("SRAM-16Mbit").energyPerAccessNj, 43.56);
+}
+
+TEST(SramCatalog, DerivedEnergyMatchesDatasheetOrder) {
+  const SramCatalog cat = SramCatalog::paperCatalog();
+  // V * I * t = 3.3 V * 375 mA * 4 ns = 4.95 nJ for the CY7C part.
+  EXPECT_NEAR(cat.byName("CY7C-2Mbit").derivedEnergyNj(), 4.95, 1e-9);
+}
+
+TEST(SramCatalog, RejectsDuplicatesAndUnknown) {
+  SramCatalog cat = SramCatalog::paperCatalog();
+  EXPECT_THROW(cat.add(SramPart{"CY7C-2Mbit", 1, 1, 1, 1, 1}),
+               ContractViolation);
+  EXPECT_THROW((void)cat.byName("nope"), ContractViolation);
+}
+
+TEST(EnergyParams, ValidateRejectsBadValues) {
+  EnergyParams p;
+  p.alphaPj = 0;
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = EnergyParams{};
+  p.dataActivity = 1.5;
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = EnergyParams{};
+  p.emNj = -1;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(EnergyModel, HitEnergyIsDecodePlusCell) {
+  const CacheEnergyModel m = model(64, 8);
+  EXPECT_DOUBLE_EQ(m.hitEnergyNj(),
+                   m.decodeEnergyNj() + m.cellEnergyNj());
+}
+
+TEST(EnergyModel, MissEnergyAddsIoAndMain) {
+  const CacheEnergyModel m = model(64, 8);
+  EXPECT_DOUBLE_EQ(m.missEnergyNj(), m.hitEnergyNj() + m.ioEnergyNj() +
+                                         m.mainEnergyNj());
+  EXPECT_GT(m.missEnergyNj(), m.hitEnergyNj());
+}
+
+TEST(EnergyModel, CellEnergyGrowsWithCacheSize) {
+  EXPECT_LT(model(16, 8).cellEnergyNj(), model(64, 8).cellEnergyNj());
+  EXPECT_LT(model(64, 8).cellEnergyNj(), model(1024, 8).cellEnergyNj());
+}
+
+TEST(EnergyModel, CellEnergyIndependentOfWaysAtFixedCapacity) {
+  // word_line * bit_line = 8*T cells regardless of the (L, S) split.
+  EXPECT_DOUBLE_EQ(model(64, 8, 4.95, 1).cellEnergyNj(),
+                   model(64, 8, 4.95, 4).cellEnergyNj());
+}
+
+TEST(EnergyModel, IoAndMainEnergyGrowWithLineSize) {
+  EXPECT_LT(model(256, 8).ioEnergyNj(), model(256, 32).ioEnergyNj());
+  EXPECT_LT(model(256, 8).mainEnergyNj(), model(256, 32).mainEnergyNj());
+}
+
+TEST(EnergyModel, MainEnergyScalesWithEm) {
+  const double lowEm = model(64, 8, kEmLow2MbitNj).mainEnergyNj();
+  const double highEm = model(64, 8, kEmHigh16MbitNj).mainEnergyNj();
+  EXPECT_GT(highEm, lowEm * 10);
+}
+
+TEST(EnergyModel, PerAccessInterpolatesHitAndMiss) {
+  const CacheEnergyModel m = model(64, 8);
+  EXPECT_DOUBLE_EQ(m.perAccessNj(0.0), m.hitEnergyNj());
+  EXPECT_DOUBLE_EQ(m.perAccessNj(1.0), m.missEnergyNj());
+  const double mid = m.perAccessNj(0.5);
+  EXPECT_DOUBLE_EQ(mid, 0.5 * m.hitEnergyNj() + 0.5 * m.missEnergyNj());
+}
+
+TEST(EnergyModel, TotalScalesWithAccesses) {
+  const CacheEnergyModel m = model(64, 8);
+  EXPECT_DOUBLE_EQ(m.totalNj(2000, 0.1), 2.0 * m.totalNj(1000, 0.1));
+}
+
+TEST(EnergyModel, TotalFromStatsMatchesManual) {
+  const CacheEnergyModel m = model(64, 8);
+  CacheStats s;
+  s.reads = 80;
+  s.readHits = 60;
+  s.readMisses = 20;
+  EXPECT_DOUBLE_EQ(m.totalNj(s), m.totalNj(80, 0.25));
+}
+
+TEST(EnergyModel, BreakdownSumsToPerAccess) {
+  const CacheEnergyModel m = model(128, 16);
+  for (const double mr : {0.0, 0.25, 0.7, 1.0}) {
+    const EnergyBreakdown b = m.breakdown(mr);
+    EXPECT_NEAR(b.totalNj(), m.perAccessNj(mr), 1e-12) << "mr=" << mr;
+  }
+}
+
+TEST(EnergyModel, RejectsBadMissRate) {
+  const CacheEnergyModel m = model(64, 8);
+  EXPECT_THROW((void)m.perAccessNj(-0.1), ContractViolation);
+  EXPECT_THROW((void)m.perAccessNj(1.1), ContractViolation);
+}
+
+TEST(EnergyModel, RejectsNegativeAddressActivity) {
+  EXPECT_THROW(CacheEnergyModel(cfg(64, 8), EnergyParams{}, -1.0),
+               ContractViolation);
+}
+
+/// The paper's Section-3 observation: at fixed miss rate, growing the
+/// cache raises hit energy; whether total energy falls with cache size
+/// depends on Em, because bigger caches lower the miss rate but raise
+/// E_cell. Emulate the two Em extremes with a fixed miss-rate profile.
+TEST(EnergyModel, EmExtremesReverseTheTrend) {
+  // A stencil-like miss-rate profile: improves with size, then hits the
+  // compulsory floor (what Compress actually shows at L = 4).
+  const std::vector<std::pair<std::uint32_t, double>> profile = {
+      {16, 0.40}, {64, 0.25}, {256, 0.20}, {512, 0.20}};
+  auto total = [&](double em) {
+    std::vector<double> e;
+    for (const auto& [size, mr] : profile) {
+      e.push_back(model(size, 4, em).totalNj(1000, mr));
+    }
+    return e;
+  };
+  const std::vector<double> cheap = total(kEmLow2MbitNj);
+  const std::vector<double> costly = total(kEmHigh16MbitNj);
+  // Expensive main memory: growing the cache pays off.
+  EXPECT_GT(costly.front(), costly.back());
+  // Cheap main memory: the E_cell growth dominates and energy rises.
+  EXPECT_LT(cheap.front(), cheap.back());
+}
+
+/// Parameterized property: energy components are monotone in line size.
+class LineSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(LineSweep, MissEnergyMonotoneInLine) {
+  const std::uint32_t line = GetParam();
+  if (line < 256) {
+    EXPECT_LT(model(1024, line).missEnergyNj(),
+              model(1024, line * 2).missEnergyNj());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, LineSweep,
+                         ::testing::Values(4u, 8u, 16u, 32u, 64u, 128u));
+
+TEST(EnergyModel, WriteAccountingAddsStoreTraffic) {
+  const CacheEnergyModel m = model(64, 8);
+  CacheStats s;
+  s.reads = 100;
+  s.readHits = 90;
+  s.readMisses = 10;
+  // Read-only view.
+  const double readOnly = m.totalNj(s);
+  EXPECT_DOUBLE_EQ(m.totalIncludingWritesNj(s), readOnly);
+  // Add write-back evictions: each pays a line transfer.
+  s.writebacks = 5;
+  EXPECT_DOUBLE_EQ(m.totalIncludingWritesNj(s),
+                   readOnly + 5 * m.memoryTransferNj(8));
+  // Write-through stores pay word transfers.
+  s.writebacks = 0;
+  s.memWrites = 20;
+  EXPECT_DOUBLE_EQ(m.totalIncludingWritesNj(s),
+                   readOnly + 20 * m.memoryTransferNj(4));
+}
+
+TEST(EnergyModel, LeakageZeroByDefault) {
+  const CacheEnergyModel m = model(64, 8);
+  EXPECT_DOUBLE_EQ(m.leakageNj(1e6), 0.0);
+}
+
+TEST(EnergyModel, LeakageScalesWithSizeAndCycles) {
+  EnergyParams p;
+  p.leakagePjPerBytePerCycle = 0.01;
+  const CacheEnergyModel small(cfg(64, 8), p, 2.0);
+  const CacheEnergyModel big(cfg(512, 8), p, 2.0);
+  EXPECT_DOUBLE_EQ(small.leakageNj(1000), 0.01 * 64 * 1000 * 1e-3);
+  EXPECT_DOUBLE_EQ(big.leakageNj(1000), 8 * small.leakageNj(1000));
+  EXPECT_DOUBLE_EQ(small.leakageNj(2000), 2 * small.leakageNj(1000));
+  EXPECT_THROW((void)small.leakageNj(-1), ContractViolation);
+}
+
+TEST(EnergyModel, MemoryTransferScalesWithBytes) {
+  const CacheEnergyModel m = model(64, 8);
+  EXPECT_LT(m.memoryTransferNj(4), m.memoryTransferNj(32));
+  EXPECT_NEAR(m.memoryTransferNj(8), 2 * m.memoryTransferNj(4), 1e-12);
+}
+
+TEST(EnergyModel, WriteAccountingCountsWriteAccessesToo) {
+  const CacheEnergyModel m = model(64, 8);
+  CacheStats s;
+  s.writes = 50;
+  s.writeHits = 40;
+  s.writeMisses = 10;
+  // 40 hits at hit energy + 10 misses at miss energy.
+  EXPECT_DOUBLE_EQ(m.totalIncludingWritesNj(s),
+                   40 * m.hitEnergyNj() + 10 * m.missEnergyNj());
+}
+
+TEST(EnergyModel, MainBytesPerAccessReducesEm) {
+  EnergyParams narrow;  // 1 byte per main access (paper literal)
+  EnergyParams wide;
+  wide.mainBytesPerAccess = 2;
+  const CacheEnergyModel m1(cfg(64, 8), narrow, 2.0);
+  const CacheEnergyModel m2(cfg(64, 8), wide, 2.0);
+  EXPECT_GT(m1.mainEnergyNj(), m2.mainEnergyNj());
+}
+
+}  // namespace
+}  // namespace memx

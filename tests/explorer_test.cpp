@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "memx/core/explorer.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+ExploreOptions smallSweep() {
+  ExploreOptions o;
+  o.ranges.minCacheBytes = 16;
+  o.ranges.maxCacheBytes = 128;
+  o.ranges.minLineBytes = 4;
+  o.ranges.maxLineBytes = 16;
+  o.ranges.maxAssociativity = 2;
+  o.ranges.maxTiling = 4;
+  return o;
+}
+
+TEST(ExploreRanges, ValidateRejectsBadBounds) {
+  ExploreRanges r;
+  r.minCacheBytes = 48;
+  EXPECT_THROW(r.validate(), ContractViolation);
+  r = ExploreRanges{};
+  r.minCacheBytes = 256;
+  r.maxCacheBytes = 64;
+  EXPECT_THROW(r.validate(), ContractViolation);
+  r = ExploreRanges{};
+  r.minLineBytes = 2;  // below the cycle-model table
+  EXPECT_THROW(r.validate(), ContractViolation);
+}
+
+TEST(Explorer, SweepKeysRespectConstraints) {
+  const Explorer ex(smallSweep());
+  const auto keys = ex.sweepKeys();
+  EXPECT_FALSE(keys.empty());
+  for (const ConfigKey& k : keys) {
+    EXPECT_LE(k.lineBytes, k.cacheBytes);
+    EXPECT_LE(k.associativity * k.lineBytes, k.cacheBytes);
+    EXPECT_LE(k.tiling, k.cacheBytes / k.lineBytes);
+    EXPECT_LE(k.associativity, 2u);
+    EXPECT_LE(k.tiling, 4u);
+  }
+}
+
+TEST(Explorer, SweepKeysAreUnique) {
+  const Explorer ex(smallSweep());
+  auto keys = ex.sweepKeys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(std::adjacent_find(keys.begin(), keys.end()), keys.end());
+}
+
+TEST(Explorer, OnChipLimitCapsCacheSize) {
+  ExploreOptions o = smallSweep();
+  o.ranges.onChipBytes = 32;
+  const Explorer ex(o);
+  for (const ConfigKey& k : ex.sweepKeys()) {
+    EXPECT_LE(k.cacheBytes, 32u);
+  }
+}
+
+TEST(Explorer, EvaluateFillsEveryMetric) {
+  const Explorer ex(smallSweep());
+  CacheConfig c;
+  c.sizeBytes = 64;
+  c.lineBytes = 8;
+  const DesignPoint p = ex.evaluate(compressKernel(), c, 1);
+  EXPECT_EQ(p.accesses, 4805u);
+  EXPECT_GT(p.missRate, 0.0);
+  EXPECT_LT(p.missRate, 1.0);
+  EXPECT_GT(p.cycles, static_cast<double>(p.accesses));
+  EXPECT_GT(p.energyNj, 0.0);
+  EXPECT_EQ(p.key.cacheBytes, 64u);
+  EXPECT_EQ(p.key.tiling, 1u);
+}
+
+TEST(Explorer, ExploreVisitsEveryKey) {
+  const Explorer ex(smallSweep());
+  const ExplorationResult r = ex.explore(dequantKernel(8));
+  EXPECT_EQ(r.workload, "dequant");
+  EXPECT_EQ(r.points.size(), ex.sweepKeys().size());
+  for (const ConfigKey& k : ex.sweepKeys()) {
+    EXPECT_NE(r.find(k), nullptr) << k.label();
+  }
+}
+
+TEST(Explorer, ResultAtThrowsOnUnexploredKey) {
+  const Explorer ex(smallSweep());
+  const ExplorationResult r = ex.explore(matrixAddKernel(8, 4));
+  EXPECT_THROW((void)r.at(ConfigKey{4096, 64, 1, 1}), ContractViolation);
+}
+
+TEST(Explorer, OptimizedLayoutNeverWorseOnCompress) {
+  ExploreOptions opt = smallSweep();
+  ExploreOptions unopt = smallSweep();
+  unopt.optimizeLayout = false;
+  const Explorer exOpt(opt);
+  const Explorer exUnopt(unopt);
+  const Kernel k = compressKernel();
+  CacheConfig c;
+  c.sizeBytes = 64;
+  c.lineBytes = 8;
+  const DesignPoint a = exOpt.evaluate(k, c);
+  const DesignPoint b = exUnopt.evaluate(k, c);
+  EXPECT_LE(a.missRate, b.missRate);
+}
+
+TEST(Explorer, LargerCacheNeverMoreMissesSameLine) {
+  const Explorer ex(smallSweep());
+  const Kernel k = sorKernel();
+  double prev = 2.0;
+  for (const std::uint32_t size : {16u, 32u, 64u, 128u}) {
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = 8;
+    const double mr = ex.evaluate(k, c).missRate;
+    EXPECT_LE(mr, prev + 1e-9) << "size=" << size;
+    prev = mr;
+  }
+}
+
+TEST(Explorer, TilingTermRaisesCyclesAtFixedMissRate) {
+  // For a 1-deep kernel tiling cannot change the trace, so the B term
+  // strictly raises cycles.
+  Kernel k;
+  k.name = "stream";
+  k.arrays = {ArrayDecl{"a", {256}, 4}};
+  k.nest = LoopNest::rectangular({{0, 255}});
+  k.body = {makeAccess(0, {AffineExpr::var(0)})};
+  const Explorer ex(smallSweep());
+  CacheConfig c;
+  c.sizeBytes = 64;
+  c.lineBytes = 8;
+  const DesignPoint b1 = ex.evaluate(k, c, 1);
+  const DesignPoint b4 = ex.evaluate(k, c, 4);
+  EXPECT_DOUBLE_EQ(b1.missRate, b4.missRate);
+  EXPECT_LT(b1.cycles, b4.cycles);
+}
+
+TEST(Explorer, MeasuredBusActivityChangesEnergy) {
+  ExploreOptions measured = smallSweep();
+  ExploreOptions fixed = smallSweep();
+  fixed.measureBusActivity = false;
+  const Kernel k = compressKernel();
+  CacheConfig c;
+  c.sizeBytes = 64;
+  c.lineBytes = 8;
+  const DesignPoint a = Explorer(measured).evaluate(k, c);
+  const DesignPoint b = Explorer(fixed).evaluate(k, c);
+  // Same miss profile, slightly different E_dec/E_io terms.
+  EXPECT_DOUBLE_EQ(a.missRate, b.missRate);
+  EXPECT_NE(a.energyNj, b.energyNj);
+}
+
+TEST(Explorer, WritePolicyConfigurable) {
+  ExploreOptions o = smallSweep();
+  o.writePolicy = WritePolicy::WriteThrough;
+  const Explorer ex(o);
+  CacheConfig c;
+  c.sizeBytes = 64;
+  c.lineBytes = 8;
+  EXPECT_NO_THROW((void)ex.evaluate(compressKernel(), c));
+}
+
+TEST(Explorer, WriteEnergyOptionRaisesEnergy) {
+  ExploreOptions readOnly = smallSweep();
+  ExploreOptions withWrites = smallSweep();
+  withWrites.includeWriteEnergy = true;
+  const Kernel k = compressKernel();
+  CacheConfig c;
+  c.sizeBytes = 64;
+  c.lineBytes = 8;
+  const DesignPoint a = Explorer(readOnly).evaluate(k, c);
+  const DesignPoint b = Explorer(withWrites).evaluate(k, c);
+  EXPECT_DOUBLE_EQ(a.missRate, b.missRate);
+  EXPECT_GT(b.energyNj, a.energyNj);
+}
+
+TEST(ConfigKey, LabelsAndOrdering) {
+  EXPECT_EQ((ConfigKey{64, 8, 1, 1}).label(), "C64L8");
+  EXPECT_EQ((ConfigKey{64, 8, 4, 8}).label(), "C64L8S4B8");
+  EXPECT_LT((ConfigKey{16, 4, 1, 1}), (ConfigKey{16, 4, 1, 2}));
+}
+
+}  // namespace
+}  // namespace memx

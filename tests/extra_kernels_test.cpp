@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/kernels/extra_kernels.hpp"
+#include "memx/layout/offchip_assign.hpp"
+#include "memx/loopir/ref_classes.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/spm/allocation.hpp"
+#include "memx/trace/trace_stats.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig dm(std::uint32_t size, std::uint32_t line) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  return c;
+}
+
+TEST(ExtraKernels, LuShape) {
+  const Kernel k = luKernel(8);
+  EXPECT_EQ(k.nest.iterationCount(), 7u * 7u * 7u);
+  EXPECT_EQ(k.body.size(), 4u);
+  EXPECT_NO_THROW(generateTrace(k));
+}
+
+TEST(ExtraKernels, LuDistinctHSignatures) {
+  // a[i][k], a[k][j], a[i][j]: three distinct linear parts on one array.
+  const RefAnalysis a = analyzeReferences(luKernel(8));
+  EXPECT_EQ(a.groups.size(), 3u);
+  EXPECT_EQ(a.cases.size(), 3u);
+}
+
+TEST(ExtraKernels, FirCoefficientsAreHot) {
+  const Kernel k = firKernel(128, 16);
+  const auto usages = profileArrayUsage(k);
+  // coef: one access per (i, t) iteration over a 16-byte array —
+  // by far the densest candidate for a scratchpad.
+  const ArrayUsage& coef = usages[k.arrayIndexOf("coef")];
+  for (const ArrayUsage& u : usages) {
+    EXPECT_LE(u.density(), coef.density() + 1e-9);
+  }
+}
+
+TEST(ExtraKernels, FirSlidingWindowHitsInTinyCache) {
+  // Window of 16 bytes + 16 coef bytes: a 64-byte cache captures it
+  // (2-way, so the sliding window cannot evict the coefficient lines).
+  const Kernel k = firKernel(256, 16);
+  CacheConfig c = dm(64, 8);
+  c.associativity = 2;
+  const CacheStats s = simulateTrace(c, generateTrace(k));
+  EXPECT_LT(s.missRate(), 0.1);
+}
+
+TEST(ExtraKernels, FirAccessesInBounds) {
+  const Trace t = generateTrace(firKernel(64, 8));
+  const TraceStats s = computeStats(t);
+  // in[64+8] + coef[8] + out[64] with tight packing.
+  EXPECT_LT(s.maxAddr, 72u + 8u + 64u);
+}
+
+TEST(ExtraKernels, HistogramReadWritePairHitsSameBin) {
+  const Kernel k = histogramKernel(64, 16);
+  const Trace t = generateTrace(k);
+  ASSERT_EQ(t.size(), 64u * 3u);
+  for (std::size_t i = 0; i < t.size(); i += 3) {
+    EXPECT_EQ(t[i + 1].addr, t[i + 2].addr) << "iteration " << i / 3;
+    EXPECT_EQ(t[i + 1].type, AccessType::Read);
+    EXPECT_EQ(t[i + 2].type, AccessType::Write);
+  }
+}
+
+TEST(ExtraKernels, HistogramDefeatsLayoutOptimization) {
+  const Kernel k = histogramKernel(256, 64);
+  const AssignmentPlan plan = assignConflictFree(k, dm(64, 8));
+  // The bins accesses are indirect: the plan cannot certify them.
+  const RefAnalysis a = analyzeReferences(k);
+  EXPECT_EQ(a.indirectAccesses.size(), 2u);
+}
+
+TEST(ExtraKernels, MatVecVectorReusedPerRow) {
+  // x fits a 64-byte cache: after row 0, x accesses hit.
+  const Kernel k = matVecKernel(32);
+  CacheConfig c = dm(128, 8);
+  c.associativity = 4;  // keep m's streaming from evicting x
+  const CacheStats s = simulateTrace(c, generateTrace(k));
+  // m misses: 1024/8 = 128 lines; x misses ~4 lines; y ~4:
+  // everything else hits.
+  EXPECT_LT(s.missRate(), 0.1);
+}
+
+TEST(ExtraKernels, FactoriesValidateArguments) {
+  EXPECT_THROW(luKernel(2), ContractViolation);
+  EXPECT_THROW(firKernel(0, 4), ContractViolation);
+  EXPECT_THROW(histogramKernel(4, 0), ContractViolation);
+  EXPECT_THROW(matVecKernel(0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace memx

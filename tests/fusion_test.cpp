@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/util/assert.hpp"
+#include "memx/xform/fusion.hpp"
+
+namespace memx {
+namespace {
+
+/// c[i][j] = a[i][j] * 2 over n x n (producer).
+Kernel scaleKernel(std::int64_t n) {
+  Kernel k;
+  k.name = "scale";
+  k.arrays = {ArrayDecl{"a", {n, n}, 1}, ArrayDecl{"c", {n, n}, 1}};
+  k.nest = LoopNest::rectangular({{0, n - 1}, {0, n - 1}});
+  k.body = {
+      makeAccess(0, {AffineExpr::var(0), AffineExpr::var(1)}),
+      makeAccess(1, {AffineExpr::var(0), AffineExpr::var(1)},
+                 AccessType::Write),
+  };
+  return k;
+}
+
+/// d[i][j] = c[i][j] + a[i][j] (consumer of both).
+Kernel sumKernel(std::int64_t n) {
+  Kernel k;
+  k.name = "sum";
+  k.arrays = {ArrayDecl{"c", {n, n}, 1}, ArrayDecl{"a", {n, n}, 1},
+              ArrayDecl{"d", {n, n}, 1}};
+  k.nest = LoopNest::rectangular({{0, n - 1}, {0, n - 1}});
+  k.body = {
+      makeAccess(0, {AffineExpr::var(0), AffineExpr::var(1)}),
+      makeAccess(1, {AffineExpr::var(0), AffineExpr::var(1)}),
+      makeAccess(2, {AffineExpr::var(0), AffineExpr::var(1)},
+                 AccessType::Write),
+  };
+  return k;
+}
+
+TEST(Fusion, SameIterationSpaceDetection) {
+  EXPECT_TRUE(sameIterationSpace(scaleKernel(16), sumKernel(16)));
+  EXPECT_FALSE(sameIterationSpace(scaleKernel(16), sumKernel(8)));
+  EXPECT_FALSE(sameIterationSpace(scaleKernel(16), compressKernel()));
+}
+
+TEST(Fusion, SharedArraysAreMergedByName) {
+  const Kernel fused = fuseKernels(scaleKernel(16), sumKernel(16));
+  // Arrays: a, c (from scale) + d (new from sum); c and a shared.
+  ASSERT_EQ(fused.arrays.size(), 3u);
+  EXPECT_EQ(fused.arrays[0].name, "a");
+  EXPECT_EQ(fused.arrays[1].name, "c");
+  EXPECT_EQ(fused.arrays[2].name, "d");
+  EXPECT_EQ(fused.body.size(), 5u);
+}
+
+TEST(Fusion, BodyOrderIsProducerThenConsumer) {
+  const Kernel fused = fuseKernels(scaleKernel(8), sumKernel(8));
+  // Per iteration: read a, write c, read c, read a, write d.
+  EXPECT_EQ(fused.body[1].type, AccessType::Write);
+  EXPECT_EQ(fused.body[1].arrayIndex, fused.arrayIndexOf("c"));
+  EXPECT_EQ(fused.body[2].arrayIndex, fused.arrayIndexOf("c"));
+  EXPECT_EQ(fused.body[4].arrayIndex, fused.arrayIndexOf("d"));
+}
+
+TEST(Fusion, PreservesTotalAccessCount) {
+  const Kernel a = scaleKernel(16);
+  const Kernel b = sumKernel(16);
+  const Kernel fused = fuseKernels(a, b);
+  EXPECT_EQ(fused.referenceCount(),
+            a.referenceCount() + b.referenceCount());
+}
+
+TEST(Fusion, ImprovesLocalityOverSequentialExecution) {
+  // Sequential: scale streams a and c; sum then re-reads both after the
+  // cache has evicted them. Fused: the re-reads hit the just-touched
+  // lines.
+  const std::int64_t n = 32;
+  const Kernel a = scaleKernel(n);
+  const Kernel b = sumKernel(n);
+  const Kernel fused = fuseKernels(a, b);
+
+  CacheConfig cache;
+  cache.sizeBytes = 64;
+  cache.lineBytes = 8;
+  // 4-way so the three tight-packed arrays (1 KiB apart, aliasing in a
+  // direct-mapped cache) don't drown the reuse signal in conflicts.
+  cache.associativity = 4;
+
+  // Sequential composite: run scale's trace then sum's, with both
+  // kernels seeing the same (fused) address space.
+  const MemoryLayout layout = MemoryLayout::tight(fused);
+  Kernel aView = fused;
+  aView.body.assign(fused.body.begin(), fused.body.begin() + 2);
+  Kernel bView = fused;
+  bView.body.assign(fused.body.begin() + 2, fused.body.end());
+  Trace sequential = generateTrace(aView, layout);
+  sequential.append(generateTrace(bView, layout));
+  const Trace fusedTrace = generateTrace(fused, layout);
+  ASSERT_EQ(sequential.size(), fusedTrace.size());
+
+  const double seqMiss = simulateTrace(cache, sequential).missRate();
+  const double fusedMiss = simulateTrace(cache, fusedTrace).missRate();
+  EXPECT_LT(fusedMiss, seqMiss * 0.7);
+}
+
+TEST(Fusion, RejectsMismatchedSpacesAndShapes) {
+  EXPECT_THROW(fuseKernels(scaleKernel(16), sumKernel(8)),
+               ContractViolation);
+  // Same name, different shape.
+  Kernel bad = sumKernel(16);
+  bad.arrays[1].elemBytes = 4;
+  EXPECT_THROW(fuseKernels(scaleKernel(16), bad), ContractViolation);
+}
+
+TEST(Fusion, FusedKernelWorksWithTightLayout) {
+  const Kernel fused = fuseKernels(scaleKernel(8), sumKernel(8));
+  EXPECT_NO_THROW(generateTrace(fused));
+}
+
+TEST(Distribution, SplitsBodyIntoTwoKernels) {
+  const Kernel fused = fuseKernels(scaleKernel(8), sumKernel(8));
+  const auto [first, second] = distributeKernel(fused, 2);
+  EXPECT_EQ(first.body.size(), 2u);
+  EXPECT_EQ(second.body.size(), 3u);
+  EXPECT_EQ(first.arrays.size(), fused.arrays.size());
+  EXPECT_EQ(first.referenceCount() + second.referenceCount(),
+            fused.referenceCount());
+}
+
+TEST(Distribution, RoundTripsFusion) {
+  // distribute(fuse(a, b)) at a's boundary recovers both traces.
+  const Kernel a = scaleKernel(8);
+  const Kernel b = sumKernel(8);
+  const Kernel fused = fuseKernels(a, b);
+  const auto [first, second] = distributeKernel(fused, a.body.size());
+  const MemoryLayout layout = MemoryLayout::tight(fused);
+  const Trace ta = generateTrace(first, layout);
+  const Trace tb = generateTrace(second, layout);
+  EXPECT_EQ(ta.size(), a.referenceCount());
+  EXPECT_EQ(tb.size(), b.referenceCount());
+}
+
+TEST(Distribution, RejectsEmptyHalves) {
+  const Kernel k = scaleKernel(8);
+  EXPECT_THROW(distributeKernel(k, 0), ContractViolation);
+  EXPECT_THROW(distributeKernel(k, k.body.size()), ContractViolation);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "memx/core/hierarchy_explorer.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig cfg(std::uint32_t size, std::uint32_t line,
+                std::uint32_t ways = 1) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  c.associativity = ways;
+  return c;
+}
+
+TEST(HierarchyExplorer, RangesValidate) {
+  HierarchyRanges r;
+  r.minL1Bytes = 48;
+  EXPECT_THROW(r.validate(), ContractViolation);
+  r = HierarchyRanges{};
+  r.l1LineBytes = 32;
+  r.l2LineBytes = 16;
+  EXPECT_THROW(r.validate(), ContractViolation);
+}
+
+TEST(HierarchyExplorer, PointCarriesBothConfigs) {
+  const Trace t = generateTrace(sorKernel());
+  const HierarchyPoint p =
+      evaluateHierarchyPoint(t, cfg(64, 8), cfg(512, 16, 2));
+  EXPECT_EQ(p.label(), "L1:C64L8+L2:C512L16S2");
+  EXPECT_GT(p.l1MissRate, 0.0);
+  EXPECT_LE(p.globalMissRate, p.l1MissRate);
+  EXPECT_GT(p.cycles, 0.0);
+  EXPECT_GT(p.energyNj, 0.0);
+}
+
+TEST(HierarchyExplorer, SweepSkipsInvertedPairs) {
+  HierarchyRanges r;
+  r.minL1Bytes = 64;
+  r.maxL1Bytes = 512;
+  r.minL2Bytes = 256;
+  r.maxL2Bytes = 512;
+  const Trace t = generateTrace(matrixAddKernel(8, 1));
+  const auto points = exploreHierarchy(t, r);
+  for (const HierarchyPoint& p : points) {
+    EXPECT_GE(p.l2.sizeBytes, p.l1.sizeBytes);
+  }
+  // L1 in {64,128,256,512}, L2 in {256,512}: pairs with L2 >= L1.
+  EXPECT_EQ(points.size(), 3u + 4u);
+}
+
+TEST(HierarchyExplorer, BiggerL2NeverRaisesGlobalMissRate) {
+  const Trace t = generateTrace(sorKernel());
+  const CacheConfig l1 = cfg(64, 8);
+  double prev = 1.1;
+  for (const std::uint32_t l2size : {256u, 512u, 1024u, 2048u}) {
+    const HierarchyPoint p =
+        evaluateHierarchyPoint(t, l1, cfg(l2size, 16, 2));
+    EXPECT_LE(p.globalMissRate, prev + 1e-12);
+    prev = p.globalMissRate;
+  }
+}
+
+TEST(HierarchyExplorer, EnergyGrowsWithIdleCapacity) {
+  // A tiny workload that fits L1: growing the L2 only adds cell energy.
+  const Trace t = generateTrace(matrixAddKernel(4, 1));
+  const CacheConfig l1 = cfg(256, 8);
+  const double small =
+      evaluateHierarchyPoint(t, l1, cfg(512, 16)).energyNj;
+  const double big =
+      evaluateHierarchyPoint(t, l1, cfg(4096, 16)).energyNj;
+  EXPECT_LT(small, big);
+}
+
+TEST(HierarchyExplorer, L1MissRateIndependentOfL2) {
+  const Trace t = generateTrace(dequantKernel());
+  const HierarchyPoint a =
+      evaluateHierarchyPoint(t, cfg(64, 8), cfg(256, 16));
+  const HierarchyPoint b =
+      evaluateHierarchyPoint(t, cfg(64, 8), cfg(2048, 16));
+  EXPECT_DOUBLE_EQ(a.l1MissRate, b.l1MissRate);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/hierarchy.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/trace/generators.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig cfg(std::uint32_t size, std::uint32_t line,
+                std::uint32_t ways = 1) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  c.associativity = ways;
+  return c;
+}
+
+TEST(Hierarchy, RejectsInvertedGeometry) {
+  EXPECT_THROW(CacheHierarchy(cfg(256, 16), cfg(64, 16)),
+               ContractViolation);
+  EXPECT_THROW(CacheHierarchy(cfg(64, 16), cfg(256, 8)),
+               ContractViolation);
+}
+
+TEST(Hierarchy, L1HitNeverTouchesL2) {
+  CacheHierarchy h(cfg(64, 8), cfg(512, 16));
+  h.access(readRef(0));  // cold: both levels miss
+  h.access(readRef(0));  // L1 hit
+  h.access(readRef(4));  // L1 hit (same line)
+  EXPECT_EQ(h.stats().l1.hits(), 2u);
+  EXPECT_EQ(h.stats().l2.accesses(), 1u);
+}
+
+TEST(Hierarchy, L2CatchesL1CapacityMisses) {
+  // Working set fits L2 but not L1: second round hits in L2.
+  CacheHierarchy h(cfg(64, 8), cfg(1024, 8));
+  const Trace t = loopingTrace(0, 64, 2, 4);  // 256 B set, 2 rounds
+  h.run(t);
+  EXPECT_GT(h.stats().l1.misses(), 32u);  // L1 thrashes
+  // Only the cold fills leave the chip.
+  EXPECT_EQ(h.stats().mainReads, 32u);
+  EXPECT_LT(h.stats().globalMissRate(), h.stats().l1.missRate());
+}
+
+TEST(Hierarchy, GlobalMissRateEqualsL1WhenL2Useless) {
+  // L2 == L1 size: everything L1 misses, L2 misses too (same contents).
+  CacheHierarchy h(cfg(64, 8), cfg(64, 8));
+  const Trace t = randomTrace(0, 65536, 2000, 3);
+  h.run(t);
+  EXPECT_NEAR(h.stats().globalMissRate(), h.stats().l1.missRate(), 0.02);
+}
+
+TEST(Hierarchy, DirtyVictimsAbsorbedByL2) {
+  CacheHierarchy h(cfg(16, 8), cfg(256, 8));
+  h.access(writeRef(0));    // dirty line 0 in L1
+  h.access(writeRef(16));   // set 0 conflict? 16B L1, 8B lines: 2 sets.
+  h.access(writeRef(32));   // evicts dirty line 0 -> L2 write
+  h.access(writeRef(64));   // evicts dirty line 32
+  EXPECT_GT(h.stats().l1.writebacks, 0u);
+  EXPECT_GT(h.stats().l2.writes, 0u);
+  // L2 holds the victims: nothing dirty left the chip yet.
+  EXPECT_EQ(h.stats().mainWrites, 0u);
+}
+
+TEST(Hierarchy, ResetClearsEverything) {
+  CacheHierarchy h(cfg(64, 8), cfg(256, 16));
+  h.run(stridedTrace(0, 64, 8));
+  h.reset();
+  EXPECT_EQ(h.stats().l1.accesses(), 0u);
+  EXPECT_EQ(h.stats().mainReads, 0u);
+}
+
+TEST(Hierarchy, TimingModelAccumulates) {
+  HierarchyStats s;
+  s.l1.reads = 100;
+  s.l1.readHits = 90;
+  s.l1.readMisses = 10;
+  s.l2.reads = 10;
+  s.l2.readHits = 8;
+  s.l2.readMisses = 2;
+  const HierarchyTiming t;
+  EXPECT_DOUBLE_EQ(t.cycles(s), 100 * 1.0 + 10 * 8.0 + 2 * 40.0);
+}
+
+TEST(Hierarchy, L2ReducesOffChipTrafficOnKernels) {
+  const Trace t = generateTrace(sorKernel());
+  CacheHierarchy with(cfg(64, 8), cfg(1024, 16));
+  with.run(t);
+  CacheSim without(cfg(64, 8));
+  without.run(t);
+  EXPECT_LT(with.stats().mainReads, without.stats().lineFills);
+}
+
+/// Property: the L2 never sees more accesses than L1 misses + L1
+/// writebacks.
+class HierarchyTraffic : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchyTraffic, L2TrafficBounded) {
+  const int seed = GetParam();
+  CacheHierarchy h(cfg(64, 8), cfg(512, 16));
+  h.run(randomTrace(0, 8192, 3000, static_cast<std::uint64_t>(seed)));
+  EXPECT_LE(h.stats().l2.accesses(),
+            h.stats().l1.misses() + h.stats().l1.writebacks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchyTraffic,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/core/selection.hpp"
+#include "memx/core/trace_explorer.hpp"
+#include "memx/icache/ifetch_model.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/trace/trace_stats.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+TEST(IFetch, LayoutValidation) {
+  InstructionLayout layout;
+  layout.instrBytes = 0;
+  EXPECT_THROW(layout.validate(), ContractViolation);
+  layout = InstructionLayout{};
+  layout.instrPerAccess = 0;
+  EXPECT_THROW(layout.validate(), ContractViolation);
+}
+
+TEST(IFetch, BodySizeFollowsKernelBody) {
+  const InstructionLayout layout;
+  // Compress: 5 accesses * 3 + 4 arithmetic = 19 instructions.
+  EXPECT_EQ(layout.bodyInstructions(compressKernel()), 19u);
+  // Matrix add: 3 accesses * 3 + 4 = 13.
+  EXPECT_EQ(layout.bodyInstructions(matrixAddKernel()), 13u);
+}
+
+TEST(IFetch, CodeBytesIncludeLoopOverhead) {
+  const InstructionLayout layout;
+  const Kernel k = matrixAddKernel();  // 2-deep nest
+  EXPECT_EQ(layout.codeBytes(k), (13u + 2u * 3u) * 4u);
+}
+
+TEST(IFetch, TraceCountsMatchStructure) {
+  const InstructionLayout layout;
+  const Kernel k = matrixAddKernel(4, 1);  // 4x4 iterations
+  const Trace t = generateIFetchTrace(k, layout);
+  // Headers: outer loop restarts 4 times (3 instrs each), inner level
+  // fetches its header on every iteration (16 x 3), body 16 x 13.
+  EXPECT_EQ(t.size(), 4u * 3u + 16u * 3u + 16u * 13u);
+  for (const MemRef& r : t) {
+    EXPECT_EQ(r.type, AccessType::Read);
+    EXPECT_EQ(r.size, 4u);
+  }
+}
+
+TEST(IFetch, AddressesStayInsideCodeRegion) {
+  const InstructionLayout layout;
+  const Kernel k = compressKernel();
+  const Trace t = generateIFetchTrace(k, layout);
+  const TraceStats s = computeStats(t);
+  EXPECT_GE(s.minAddr, layout.codeBase);
+  EXPECT_LT(s.maxAddr, layout.codeBase + layout.codeBytes(k));
+}
+
+TEST(IFetch, TinyICacheCapturesTheLoop) {
+  // Once the I-cache holds the whole body, only cold misses remain —
+  // the classic embedded-loop result.
+  const InstructionLayout layout;
+  const Kernel k = compressKernel();
+  const Trace t = generateIFetchTrace(k, layout);
+  CacheConfig big;
+  big.sizeBytes = 128;  // code is (19 + 6) * 4 = 100 bytes
+  big.lineBytes = 16;
+  const CacheStats s = simulateTrace(big, t);
+  EXPECT_EQ(s.misses(), (computeStats(t, 16).uniqueLines));
+  EXPECT_LT(s.missRate(), 0.001);
+}
+
+TEST(IFetch, TooSmallICacheThrashes) {
+  const InstructionLayout layout;
+  const Kernel k = compressKernel();
+  const Trace t = generateIFetchTrace(k, layout);
+  CacheConfig tiny;
+  tiny.sizeBytes = 32;  // body alone is 76 bytes
+  tiny.lineBytes = 8;
+  const CacheStats s = simulateTrace(tiny, t);
+  EXPECT_GT(s.missRate(), 0.5);
+}
+
+TEST(IFetch, ExploreTraceFindsSmallestFittingCache) {
+  const InstructionLayout layout;
+  const Kernel k = compressKernel();
+  const Trace t = generateIFetchTrace(k, layout);
+  ExploreOptions o;
+  o.ranges.minCacheBytes = 32;
+  o.ranges.maxCacheBytes = 1024;
+  o.ranges.sweepAssociativity = false;
+  const ExplorationResult r = exploreTrace("icache-compress", t, o);
+  const auto best = minEnergyPoint(r.points);
+  ASSERT_TRUE(best.has_value());
+  // The code is ~100 bytes: a 128-byte I-cache is the energy optimum
+  // (everything bigger burns cell energy for no miss benefit).
+  EXPECT_EQ(best->key.cacheBytes, 128u);
+}
+
+TEST(TraceExplorer, PointsCarryUnitTiling) {
+  ExploreOptions o;
+  o.ranges.maxCacheBytes = 64;
+  const Trace t = generateIFetchTrace(matrixAddKernel(4, 1), {});
+  const ExplorationResult r = exploreTrace("x", t, o);
+  ASSERT_FALSE(r.points.empty());
+  for (const DesignPoint& p : r.points) {
+    EXPECT_EQ(p.key.tiling, 1u);
+    EXPECT_EQ(p.accesses, t.size());
+  }
+}
+
+TEST(TraceExplorer, MatchesDirectSimulation) {
+  const Trace t = generateIFetchTrace(compressKernel(), {});
+  ExploreOptions o;
+  CacheConfig c;
+  c.sizeBytes = 64;
+  c.lineBytes = 8;
+  const DesignPoint p = evaluateTracePoint(t, c, o);
+  CacheConfig sim = c;
+  sim.writePolicy = o.writePolicy;
+  EXPECT_DOUBLE_EQ(p.missRate, simulateTrace(sim, t).missRate());
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,135 @@
+// End-to-end checks of the paper's headline claims (DESIGN.md Section 4).
+#include <gtest/gtest.h>
+
+#include "memx/core/explorer.hpp"
+#include "memx/core/selection.hpp"
+#include "memx/energy/sram_catalog.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/xform/tiling.hpp"
+
+namespace memx {
+namespace {
+
+ExploreOptions paperSweep() {
+  ExploreOptions o;
+  o.ranges.minCacheBytes = 16;
+  o.ranges.maxCacheBytes = 512;
+  o.ranges.minLineBytes = 4;
+  o.ranges.maxLineBytes = 64;
+  o.ranges.sweepAssociativity = false;
+  o.ranges.sweepTiling = false;
+  return o;
+}
+
+CacheConfig dmc(std::uint32_t size, std::uint32_t line) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  return c;
+}
+
+/// Claim 1 (Figure 1): the energy trend with cache size reverses between
+/// cheap and expensive off-chip memory on Compress.
+TEST(PaperClaims, Fig1EnergyTrendReversesWithEm) {
+  const Kernel k = compressKernel();
+  auto energyAt = [&](double em, std::uint32_t size) {
+    ExploreOptions o = paperSweep();
+    o.energy.emNj = em;
+    return Explorer(o).evaluate(k, dmc(size, 4)).energyNj;
+  };
+  // Expensive 16 Mbit SRAM: bigger cache pays off.
+  EXPECT_GT(energyAt(kEmHigh16MbitNj, 16),
+            energyAt(kEmHigh16MbitNj, 512));
+  // Cheap 2 Mbit SRAM: bigger cache wastes energy.
+  EXPECT_LT(energyAt(kEmLow2MbitNj, 16), energyAt(kEmLow2MbitNj, 512));
+}
+
+/// Claim (Figure 2 family): miss rate and cycles fall along the paper's
+/// C16L4 -> C128L32 diagonal for every benchmark.
+TEST(PaperClaims, Fig2DiagonalImprovesMissRateAndCycles) {
+  const Explorer ex(paperSweep());
+  for (const Kernel& k : paperBenchmarks()) {
+    const DesignPoint small = ex.evaluate(k, dmc(16, 4));
+    const DesignPoint large = ex.evaluate(k, dmc(128, 32));
+    EXPECT_LT(large.missRate, small.missRate) << k.name;
+    EXPECT_LT(large.cycles, small.cycles) << k.name;
+  }
+}
+
+/// Claim 2 (Figure 5 / Figure 9 parentheses): the off-chip assignment
+/// removes an order of magnitude of Compress misses.
+TEST(PaperClaims, Fig5OffchipAssignmentSlashesMissRate) {
+  ExploreOptions opt = paperSweep();
+  ExploreOptions unopt = paperSweep();
+  unopt.optimizeLayout = false;
+  // The paper's unoptimized baseline corresponds to word-granular rows
+  // (128 bytes) aliasing at all three cache sizes.
+  const Kernel k = compressKernel(32, 4);
+  for (const auto& [size, line] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {32, 4}, {64, 8}, {128, 16}}) {
+    const double optimized =
+        Explorer(opt).evaluate(k, dmc(size, line)).missRate;
+    const double unoptimized =
+        Explorer(unopt).evaluate(k, dmc(size, line)).missRate;
+    EXPECT_LT(optimized, unoptimized)
+        << "C" << size << "L" << line;
+  }
+}
+
+/// Claim 3 (Figures 6-7): tiling the transpose-like kernels is U-shaped
+/// in energy with the sweet spot at or below the number of cache lines.
+TEST(PaperClaims, Fig6TilingHelpsTransposeThenHurts) {
+  ExploreOptions o = paperSweep();
+  const Explorer ex(o);
+  const Kernel k = transposeKernel(32);
+  const CacheConfig cache = dmc(128, 8);  // 16 lines
+  const DesignPoint untiled = ex.evaluate(k, cache, 1);
+  double best = untiled.missRate;
+  for (const std::uint32_t b : {2u, 4u, 8u}) {
+    best = std::min(best, ex.evaluate(k, cache, b).missRate);
+  }
+  EXPECT_LT(best, untiled.missRate);
+}
+
+/// Claim (Section 4.3): associativity lowers the miss rate of small
+/// caches on conflict-prone workloads.
+TEST(PaperClaims, Sec43AssociativityLowersMissRateSmallCache) {
+  ExploreOptions o = paperSweep();
+  o.optimizeLayout = false;  // leave conflicts for associativity to fix
+  const Explorer ex(o);
+  const Kernel k = dequantKernel();
+  CacheConfig c1 = dmc(64, 8);
+  CacheConfig c4 = dmc(64, 8);
+  c4.associativity = 4;
+  EXPECT_LT(ex.evaluate(k, c4).missRate, ex.evaluate(k, c1).missRate);
+}
+
+/// Claim (Figure 4): bounded selection picks different corners: the
+/// global min-energy point is small, the min-cycles point is large.
+TEST(PaperClaims, Fig4BoundedSelectionsDiffer) {
+  const Explorer ex(paperSweep());
+  const ExplorationResult r = ex.explore(compressKernel());
+  const auto minE = minEnergyPoint(r.points);
+  const auto minC = minCyclePoint(r.points);
+  ASSERT_TRUE(minE && minC);
+  EXPECT_LT(minE->key.cacheBytes, minC->key.cacheBytes);
+  // A cycle bound between the extremes forces a compromise point.
+  const double bound = (minE->cycles + minC->cycles) / 2;
+  const auto bounded = minEnergyPoint(r.points, bound);
+  ASSERT_TRUE(bounded.has_value());
+  EXPECT_LE(bounded->cycles, bound);
+  EXPECT_GE(bounded->energyNj, minE->energyNj);
+}
+
+/// Tiling must never change how much work is done, only its order.
+TEST(PaperClaims, TilingPreservesAccessCount) {
+  const Explorer ex(paperSweep());
+  const Kernel k = sorKernel();
+  const DesignPoint a = ex.evaluate(k, dmc(64, 8), 1);
+  const DesignPoint b = ex.evaluate(k, dmc(64, 8), 4);
+  EXPECT_EQ(a.accesses, b.accesses);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/loopir/kernel_parser.hpp"
+#include "memx/loopir/ref_classes.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+constexpr const char* kCompressText = R"(
+# Example 1 of the paper
+array a[32][32] : 1
+for i = 1 .. 31
+  for j = 1 .. 31
+    a[i][j] = a[i][j] - a[i-1][j] - a[i][j-1] - 2*a[i-1][j-1]
+)";
+
+TEST(KernelParser, ParsesCompressExactly) {
+  const Kernel parsed = parseKernel(kCompressText, "compress");
+  const Kernel built = compressKernel();
+  EXPECT_EQ(parsed.nest.iterationCount(), built.nest.iterationCount());
+  ASSERT_EQ(parsed.body.size(), built.body.size());
+  // The traces match reference for reference.
+  const Trace a = generateTrace(parsed);
+  const Trace b = generateTrace(built);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr) << "i=" << i;
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+TEST(KernelParser, AnalysisMatchesBuiltKernel) {
+  const Kernel parsed = parseKernel(kCompressText);
+  EXPECT_EQ(analyzeReferences(parsed).groups.size(), 2u);
+  EXPECT_EQ(minCacheLines(parsed, 8), 4u);
+}
+
+TEST(KernelParser, MultipleArraysAndStatements) {
+  const Kernel k = parseKernel(R"(
+array a[8][8]
+array b[8][8] : 2
+array c[8][8] : 2
+for i = 0 .. 7
+  for j = 0 .. 7
+    c[i][j] = a[i][j] + b[i][j]
+    b[i][j] = a[i][j]
+)");
+  EXPECT_EQ(k.arrays.size(), 3u);
+  EXPECT_EQ(k.arrays[1].elemBytes, 2u);
+  // Statement 1: 2 reads + 1 write; statement 2: 1 read + 1 write.
+  EXPECT_EQ(k.body.size(), 5u);
+  EXPECT_EQ(k.body[2].type, AccessType::Write);
+  EXPECT_EQ(k.body[4].type, AccessType::Write);
+}
+
+TEST(KernelParser, StepAndDeepNests) {
+  const Kernel k = parseKernel(R"(
+array a[64]
+for i = 0 .. 63 step 4
+  a[i] = a[i] + 1
+)");
+  EXPECT_EQ(k.nest.iterationCount(), 16u);
+  const Kernel deep = parseKernel(R"(
+array t[4][4][4]
+for i = 0 .. 3
+  for j = 0 .. 3
+    for k = 0 .. 3
+      t[i][j][k] = t[i][j][k] + 1
+)");
+  EXPECT_EQ(deep.nest.iterationCount(), 64u);
+  EXPECT_EQ(deep.nest.depth(), 3u);
+}
+
+TEST(KernelParser, ScaledAndMixedSubscripts) {
+  const Kernel k = parseKernel(R"(
+array f[4096]
+for i = 0 .. 15
+  for j = 0 .. 63
+    f[64*i + j] = f[64*i + j] + 1
+)");
+  const Trace t = generateTrace(k);
+  EXPECT_EQ(t[0].addr, 0u);
+  EXPECT_EQ(t[2].addr, 1u);            // j = 1
+  EXPECT_EQ(t[2 * 64].addr, 64u);      // i = 1, j = 0
+}
+
+TEST(KernelParser, TransposedSubscripts) {
+  const Kernel k = parseKernel(R"(
+array a[8][8]
+array b[8][8]
+for i = 0 .. 7
+  for j = 0 .. 7
+    a[i][j] = b[j][i]
+)");
+  const RefAnalysis analysis = analyzeReferences(k);
+  EXPECT_EQ(analysis.cases.size(), 2u);
+}
+
+TEST(KernelParser, ConstantsInExpressionsIgnored) {
+  const Kernel k = parseKernel(R"(
+array a[8]
+for i = 0 .. 7
+  a[i] = 3 + 2*a[i] - 1
+)");
+  EXPECT_EQ(k.body.size(), 2u);  // one read, one write
+}
+
+TEST(KernelParser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parseKernel("array a[8]\nfor i = 0 .. 7\n  q[i] = a[i]\n");
+    FAIL() << "expected a parse error";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 3"), std::string::npos);
+    EXPECT_NE(what.find("unknown array 'q'"), std::string::npos);
+  }
+}
+
+TEST(KernelParser, RejectsMalformedInput) {
+  EXPECT_THROW(parseKernel(""), ContractViolation);  // no loop
+  EXPECT_THROW(parseKernel("array a[8]\n"), ContractViolation);
+  EXPECT_THROW(parseKernel("array a[8]\nfor i = 0 .. 7\n"),
+               ContractViolation);  // empty body
+  EXPECT_THROW(
+      parseKernel("array a[8]\nfor i = 0 .. 7\n  a[i] = a[k]\n"),
+      ContractViolation);  // unknown variable
+  EXPECT_THROW(
+      parseKernel("array a[8]\narray a[4]\nfor i = 0 .. 3\n a[i]=a[i]\n"),
+      ContractViolation);  // duplicate array
+  EXPECT_THROW(
+      parseKernel("array a[8]\nfor i = 0 .. 7 step 0\n  a[i] = a[i]\n"),
+      ContractViolation);  // bad step
+  EXPECT_THROW(
+      parseKernel("array a[8]\nfor i = 0 .. 7\n  a[i] = a[i]\n junk"),
+      ContractViolation);  // trailing garbage
+}
+
+TEST(KernelParser, CommentsAndWhitespaceTolerated) {
+  const Kernel k = parseKernel(
+      "# header\narray   a[4]   # decl\nfor i = 0 .. 3\n"
+      "  a[i] = a[i]  # stmt\n# trailing\n");
+  EXPECT_EQ(k.nest.iterationCount(), 4u);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/miss_classifier.hpp"
+#include "memx/trace/generators.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig dm(std::uint32_t size, std::uint32_t line) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  return c;
+}
+
+TEST(MissClassifier, FirstTouchIsCompulsory) {
+  const MissBreakdown b = classifyMisses(dm(64, 8), stridedTrace(0, 8, 8));
+  EXPECT_EQ(b.compulsory, 8u);
+  EXPECT_EQ(b.capacity, 0u);
+  EXPECT_EQ(b.conflict, 0u);
+}
+
+TEST(MissClassifier, RepeatAccessesHit) {
+  Trace t = stridedTrace(0, 4, 8);
+  t.append(stridedTrace(0, 4, 8));
+  const MissBreakdown b = classifyMisses(dm(64, 8), t);
+  EXPECT_EQ(b.compulsory, 4u);
+  EXPECT_EQ(b.hits, 4u);
+}
+
+TEST(MissClassifier, PingPongIsConflict) {
+  // Two lines aliasing in a direct-mapped cache but fitting a
+  // fully-associative one: pure conflict misses after the cold pair.
+  const Trace t = pingPongTrace(0, 64, 20, 0);
+  const MissBreakdown b = classifyMisses(dm(64, 8), t);
+  EXPECT_EQ(b.compulsory, 2u);
+  EXPECT_EQ(b.capacity, 0u);
+  EXPECT_EQ(b.conflict, 38u);
+  EXPECT_EQ(b.hits, 0u);
+}
+
+TEST(MissClassifier, CyclicOversizedWorkingSetIsCapacity) {
+  // Working set of 2x the cache, fully-associative shadow also thrashes:
+  // misses beyond the cold ones are capacity misses for the FA-missing
+  // part.
+  const Trace t = loopingTrace(0, 32, 4, 4);  // 128 B set, 64 B cache
+  const MissBreakdown b = classifyMisses(dm(64, 8), t);
+  EXPECT_EQ(b.compulsory, 16u);
+  EXPECT_GT(b.capacity, 0u);
+  EXPECT_EQ(b.accesses, 128u);
+  EXPECT_EQ(b.misses() + b.hits, b.accesses);
+}
+
+TEST(MissClassifier, BreakdownSumsToTargetMisses) {
+  const Trace t = randomTrace(0, 2048, 3000, 5);
+  MissClassifier cls(dm(128, 16));
+  cls.run(t);
+  EXPECT_EQ(cls.breakdown().misses(), cls.targetStats().misses());
+  EXPECT_EQ(cls.breakdown().hits, cls.targetStats().hits());
+}
+
+TEST(MissClassifier, ConflictRateZeroWhenFullyAssociative) {
+  CacheConfig c = dm(64, 8);
+  c.associativity = 8;  // target == shadow
+  const Trace t = randomTrace(0, 1024, 2000, 11);
+  const MissBreakdown b = classifyMisses(c, t);
+  EXPECT_EQ(b.conflict, 0u);
+}
+
+TEST(MissClassifier, ConflictRateComputed) {
+  const Trace t = pingPongTrace(0, 64, 10, 0);
+  const MissBreakdown b = classifyMisses(dm(64, 8), t);
+  EXPECT_NEAR(b.conflictRate(), 18.0 / 20.0, 1e-12);
+  EXPECT_DOUBLE_EQ(b.missRate(), 1.0);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "memx/core/parallel_explorer.hpp"
+#include "memx/kernels/benchmarks.hpp"
+
+namespace memx {
+namespace {
+
+ExploreOptions smallSweep() {
+  ExploreOptions o;
+  o.ranges.minCacheBytes = 16;
+  o.ranges.maxCacheBytes = 128;
+  o.ranges.maxLineBytes = 16;
+  o.ranges.maxAssociativity = 2;
+  o.ranges.maxTiling = 4;
+  return o;
+}
+
+TEST(ParallelExplorer, MatchesSerialExactly) {
+  const Kernel k = dequantKernel();
+  const ExploreOptions o = smallSweep();
+  const ExplorationResult serial = Explorer(o).explore(k);
+  const ExplorationResult parallel = exploreParallel(k, o, 4);
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(parallel.points[i].key, serial.points[i].key);
+    EXPECT_DOUBLE_EQ(parallel.points[i].missRate,
+                     serial.points[i].missRate);
+    EXPECT_DOUBLE_EQ(parallel.points[i].cycles, serial.points[i].cycles);
+    EXPECT_DOUBLE_EQ(parallel.points[i].energyNj,
+                     serial.points[i].energyNj);
+  }
+}
+
+TEST(ParallelExplorer, SingleThreadWorks) {
+  const Kernel k = matrixAddKernel(8, 1);
+  const ExplorationResult r = exploreParallel(k, smallSweep(), 1);
+  EXPECT_FALSE(r.points.empty());
+  EXPECT_EQ(r.workload, "matadd");
+}
+
+TEST(ParallelExplorer, MoreThreadsThanPointsIsFine) {
+  ExploreOptions o = smallSweep();
+  o.ranges.maxCacheBytes = 16;
+  o.ranges.maxLineBytes = 4;
+  o.ranges.sweepAssociativity = false;
+  o.ranges.sweepTiling = false;
+  const ExplorationResult r =
+      exploreParallel(matrixAddKernel(4, 1), o, 64);
+  EXPECT_EQ(r.points.size(), 1u);
+}
+
+TEST(ParallelExplorer, DefaultThreadCount) {
+  const ExplorationResult r =
+      exploreParallel(matrixAddKernel(8, 1), smallSweep(), 0);
+  EXPECT_FALSE(r.points.empty());
+}
+
+}  // namespace
+}  // namespace memx

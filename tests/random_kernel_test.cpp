@@ -1,0 +1,132 @@
+// Randomized property tests: seeded random stencil kernels are pushed
+// through the whole pipeline and its invariants are checked.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "memx/cachesim/miss_classifier.hpp"
+#include "memx/layout/offchip_assign.hpp"
+#include "memx/loopir/ref_classes.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/trace/working_set.hpp"
+#include "memx/xform/tiling.hpp"
+
+namespace memx {
+namespace {
+
+/// A random 2-deep stencil kernel: 1-3 arrays, identity-ish accesses
+/// with offsets in [-1, +1], exactly one write.
+Kernel randomKernel(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  Kernel k;
+  k.name = "rnd" + std::to_string(seed);
+  const int nArrays = pick(1, 3);
+  const std::int64_t n = 8 * pick(2, 4);  // 16..32
+  const std::uint32_t elem = 1u << pick(0, 2);
+  for (int a = 0; a < nArrays; ++a) {
+    k.arrays.push_back(
+        ArrayDecl{"a" + std::to_string(a), {n + 2, n + 2}, elem});
+  }
+  k.nest = LoopNest::rectangular({{1, n}, {1, n}});
+
+  const int nAccesses = pick(2, 5);
+  for (int i = 0; i < nAccesses; ++i) {
+    const auto arrayIdx = static_cast<std::size_t>(pick(0, nArrays - 1));
+    const bool transposed = pick(0, 3) == 0;
+    AffineExpr s0 = transposed ? AffineExpr::var(1) : AffineExpr::var(0);
+    AffineExpr s1 = transposed ? AffineExpr::var(0) : AffineExpr::var(1);
+    s0 = s0.plusConstant(pick(-1, 1));
+    s1 = s1.plusConstant(pick(-1, 1));
+    k.body.push_back(makeAccess(arrayIdx, {s0, s1}));
+  }
+  // Exactly one write, to array 0 at (i, j).
+  k.body.push_back(makeAccess(0, {AffineExpr::var(0), AffineExpr::var(1)},
+                              AccessType::Write));
+  k.validate();
+  return k;
+}
+
+std::map<std::uint64_t, std::size_t> addrMultiset(const Trace& t) {
+  std::map<std::uint64_t, std::size_t> m;
+  for (const MemRef& r : t) ++m[r.addr];
+  return m;
+}
+
+class RandomKernelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomKernelSweep, TilingPreservesAccessMultiset) {
+  const Kernel k = randomKernel(static_cast<std::uint64_t>(GetParam()));
+  const Trace base = generateTrace(k);
+  for (const std::int64_t b : {2, 4, 8}) {
+    const Trace tiled = generateTrace(tile2D(k, b));
+    EXPECT_EQ(addrMultiset(tiled), addrMultiset(base))
+        << k.name << " B=" << b;
+  }
+}
+
+TEST_P(RandomKernelSweep, CompleteLayoutHasNoConflictMisses) {
+  const Kernel k = randomKernel(static_cast<std::uint64_t>(GetParam()));
+  for (const std::uint32_t size : {128u, 256u, 512u}) {
+    CacheConfig cache;
+    cache.sizeBytes = size;
+    cache.lineBytes = 8;
+    const AssignmentPlan plan = assignConflictFree(k, cache);
+    if (!plan.complete) continue;
+    const MissBreakdown b =
+        classifyMisses(cache, generateTrace(k, plan.layout));
+    EXPECT_EQ(b.conflict, 0u) << k.name << " C" << size;
+  }
+}
+
+TEST_P(RandomKernelSweep, MattsonMatchesFullyAssociativeSim) {
+  const Kernel k = randomKernel(static_cast<std::uint64_t>(GetParam()));
+  const Trace t = generateTrace(k);
+  const ReuseProfile profile(t, 8);
+  for (const std::uint32_t size : {32u, 128u, 512u}) {
+    CacheConfig fa;
+    fa.sizeBytes = size;
+    fa.lineBytes = 8;
+    fa.associativity = fa.numLines();
+    EXPECT_NEAR(profile.predictedMissRate(fa.numLines()),
+                simulateTrace(fa, t).missRate(), 1e-12)
+        << k.name << " C" << size;
+  }
+}
+
+TEST_P(RandomKernelSweep, MinCacheSizeAnalysisIsConsistent) {
+  const Kernel k = randomKernel(static_cast<std::uint64_t>(GetParam()));
+  const std::uint32_t line = 8;
+  // The tight live-lines bound never exceeds the paper's formula.
+  EXPECT_LE(minLiveLines(k, line), minCacheLines(k, line));
+  // Every class the analysis reports covers every affine body access.
+  const RefAnalysis a = analyzeReferences(k);
+  std::size_t covered = a.indirectAccesses.size();
+  for (const RefGroup& g : a.groups) covered += g.accessIndices.size();
+  EXPECT_EQ(covered, k.body.size());
+}
+
+TEST_P(RandomKernelSweep, LargerCachesNeverMissMoreFullyAssoc) {
+  const Kernel k = randomKernel(static_cast<std::uint64_t>(GetParam()));
+  const Trace t = generateTrace(k);
+  double prev = 1.1;
+  for (const std::uint32_t size : {32u, 64u, 128u, 256u, 512u}) {
+    CacheConfig fa;
+    fa.sizeBytes = size;
+    fa.lineBytes = 8;
+    fa.associativity = fa.numLines();
+    const double mr = simulateTrace(fa, t).missRate();
+    EXPECT_LE(mr, prev + 1e-12) << k.name;  // LRU inclusion property
+    prev = mr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernelSweep,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace memx

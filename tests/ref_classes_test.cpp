@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/kernels/mpeg_kernels.hpp"
+#include "memx/loopir/ref_classes.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+TEST(RefClasses, CompressHasTwoClasses) {
+  // Paper Example 1: class 1 = {a[i-1][j-1], a[i-1][j]},
+  //                  class 2 = {a[i][j-1], a[i][j] (R+W)}.
+  const Kernel k = compressKernel();
+  const RefAnalysis a = analyzeReferences(k);
+  ASSERT_EQ(a.groups.size(), 2u);
+  // One class holds the two row-(i-1) reads, the other the three row-i
+  // references.
+  std::size_t small = a.groups[0].accessIndices.size();
+  std::size_t large = a.groups[1].accessIndices.size();
+  if (small > large) std::swap(small, large);
+  EXPECT_EQ(small, 2u);
+  EXPECT_EQ(large, 3u);
+  EXPECT_TRUE(a.indirectAccesses.empty());
+}
+
+TEST(RefClasses, CompressClassesShareOneCase) {
+  const Kernel k = compressKernel();
+  const RefAnalysis a = analyzeReferences(k);
+  // Identical H on one array: classes are distinct, the case is shared.
+  ASSERT_EQ(a.cases.size(), 1u);
+  EXPECT_EQ(a.cases[0].groupIndices.size(), 2u);
+}
+
+TEST(RefClasses, CompressNeedsFourLines) {
+  // Paper Section 3: total number of cache lines is 4 (two per class),
+  // minimum cache size is 4 * L.
+  const Kernel k = compressKernel();
+  for (const std::uint32_t line : {8u, 16u, 32u}) {
+    EXPECT_EQ(minCacheLines(k, line), 4u) << "L=" << line;
+    EXPECT_EQ(minCacheSizeBytes(k, line), 4u * line);
+  }
+}
+
+TEST(RefClasses, MatrixAddThreeSingletonClassesOneCase) {
+  // Paper Example 2: a, b, c each need one line; same H => one case.
+  const Kernel k = matrixAddKernel(6, 1);
+  const RefAnalysis a = analyzeReferences(k);
+  ASSERT_EQ(a.groups.size(), 3u);
+  for (const RefGroup& g : a.groups) {
+    EXPECT_EQ(g.accessIndices.size(), 1u);
+    EXPECT_EQ(g.spanElems(), 0);
+  }
+  ASSERT_EQ(a.cases.size(), 1u);
+  EXPECT_EQ(a.cases[0].groupIndices.size(), 3u);
+  EXPECT_EQ(minCacheLines(k, 2), 3u);
+}
+
+TEST(RefClasses, SorHasThreeClasses) {
+  // Rows i-1, i, i+1 of array a.
+  const RefAnalysis a = analyzeReferences(sorKernel());
+  EXPECT_EQ(a.groups.size(), 3u);
+}
+
+TEST(RefClasses, PdeClassesAcrossTwoArrays) {
+  // a rows i-1, i, i+1 plus the b[i][j] write: 4 classes.
+  const RefAnalysis a = analyzeReferences(pdeKernel());
+  EXPECT_EQ(a.groups.size(), 4u);
+}
+
+TEST(RefClasses, MatMulSeparateHSignatures) {
+  // a[i][k], b[k][j], c[i][j] all have different H: 3 classes, 3 cases.
+  const RefAnalysis a = analyzeReferences(matMulKernel());
+  EXPECT_EQ(a.groups.size(), 3u);
+  EXPECT_EQ(a.cases.size(), 3u);
+}
+
+TEST(RefClasses, TransposedAccessDistinctFromDirect) {
+  const Kernel k = transposeKernel();
+  const RefAnalysis a = analyzeReferences(k);
+  ASSERT_EQ(a.groups.size(), 2u);
+  EXPECT_NE(a.groups[0].h, a.groups[1].h);
+  EXPECT_EQ(a.cases.size(), 2u);
+}
+
+TEST(RefClasses, CompatibilityPredicate) {
+  const Kernel k = compressKernel();
+  // All affine references of compress share H: pairwise compatible.
+  for (std::size_t i = 0; i < k.body.size(); ++i) {
+    for (std::size_t j = 0; j < k.body.size(); ++j) {
+      EXPECT_TRUE(compatible(k, k.body[i], k.body[j]));
+    }
+  }
+  const Kernel t = transposeKernel();
+  EXPECT_FALSE(compatible(t, t.body[0], t.body[1]));
+}
+
+TEST(RefClasses, IndirectAccessesAreIncompatibleAndSeparate) {
+  const Kernel vld = mpegVldKernel();
+  const RefAnalysis a = analyzeReferences(vld);
+  EXPECT_EQ(a.indirectAccesses.size(), 1u);
+  EXPECT_FALSE(compatible(vld, vld.body[0], vld.body[1]));
+  // Indirect access contributes a floor of one line.
+  EXPECT_GE(minCacheLines(vld, 4), a.groups.size() + 1);
+}
+
+TEST(RefClasses, GroupDistanceFormula) {
+  const Kernel k = compressKernel();
+  const RefAnalysis a = analyzeReferences(k);
+  for (const RefGroup& g : a.groups) {
+    // Span of 1 element, stride 1 => distance 2.
+    EXPECT_EQ(groupDistance(g, 1), 2);
+  }
+}
+
+TEST(RefClasses, LinesNeededPaperFormula) {
+  RefGroup g;
+  g.minFlatOffset = 0;
+  g.maxFlatOffset = 1;  // distance 2
+  g.innerStrideElems = 1;
+  // L = 2 elements: 2 mod 2 == 0 -> floor(2/2)+1 = 2 lines.
+  EXPECT_EQ(linesNeeded(g, 8, 4, 1), 2u);
+  // L = 4 elements: 2 mod 4 == 2 -> floor(2/4)+2 = 2 lines.
+  EXPECT_EQ(linesNeeded(g, 16, 4, 1), 2u);
+  // Distance 1 (singleton): 1 mod anything in {0,1} -> 1 line.
+  g.maxFlatOffset = 0;
+  EXPECT_EQ(linesNeeded(g, 8, 4, 1), 1u);
+}
+
+TEST(RefClasses, LinesNeededRejectsBadGeometry) {
+  RefGroup g;
+  EXPECT_THROW((void)linesNeeded(g, 2, 4, 1), ContractViolation);  // line < elem
+}
+
+TEST(RefClasses, StrideZeroGroupTouchesOneLine) {
+  // c[i][j] inside the k-loop of matmul: invariant in the innermost loop.
+  const Kernel k = matMulKernel();
+  const RefAnalysis a = analyzeReferences(k);
+  bool foundInvariant = false;
+  for (const RefGroup& g : a.groups) {
+    if (g.innerStrideElems == 0) {
+      foundInvariant = true;
+      EXPECT_EQ(groupDistance(g, 1), 1);
+    }
+  }
+  EXPECT_TRUE(foundInvariant);
+}
+
+TEST(RefClasses, MinCacheSizeScalesWithLine) {
+  const Kernel k = sorKernel();
+  const std::uint64_t atL8 = minCacheSizeBytes(k, 8);
+  const std::uint64_t atL16 = minCacheSizeBytes(k, 16);
+  EXPECT_GT(atL16, atL8);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "memx/report/table.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22222"});
+  const std::string s = t.toString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Every line has the same column start for "value"/"1"/"22222".
+  std::istringstream is(s);
+  std::string header;
+  std::getline(is, header);
+  EXPECT_EQ(header.find("value"), 7u);  // "name" padded to width 5 + 2
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), ContractViolation);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RowAccess) {
+  Table t({"a"});
+  t.addRow({"x"});
+  EXPECT_EQ(t.rowCount(), 1u);
+  EXPECT_EQ(t.row(0)[0], "x");
+  EXPECT_THROW((void)t.row(3), ContractViolation);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"k", "v"});
+  t.addRow({"plain", "a,b"});
+  t.addRow({"quoted", "say \"hi\""});
+  std::ostringstream os;
+  t.writeCsv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundRows) {
+  Table t({"x", "y"});
+  t.addRow({"1", "2"});
+  std::ostringstream os;
+  t.writeCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Format, FixedDecimals) {
+  EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmtFixed(2.0, 0), "2");
+}
+
+TEST(Format, Sig3MatchesPaperStyle) {
+  EXPECT_EQ(fmtSig3(0.9692), "0.969");
+  EXPECT_EQ(fmtSig3(37321.0), "37300");
+  EXPECT_EQ(fmtSig3(1114000.0), "1110000");
+  EXPECT_EQ(fmtSig3(0.0), "0");
+  EXPECT_EQ(fmtSig3(4.95), "4.95");
+}
+
+TEST(Format, Sig3Negative) {
+  EXPECT_EQ(fmtSig3(-37321.0), "-37300");
+}
+
+TEST(Format, Sig3SmallValues) {
+  EXPECT_EQ(fmtSig3(0.001234), "0.00123");
+}
+
+}  // namespace
+}  // namespace memx

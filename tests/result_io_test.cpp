@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "memx/core/explorer.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/report/result_io.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+ExplorationResult sampleResult() {
+  ExploreOptions o;
+  o.ranges.maxCacheBytes = 64;
+  o.ranges.maxLineBytes = 8;
+  o.ranges.maxAssociativity = 2;
+  o.ranges.maxTiling = 2;
+  return Explorer(o).explore(matrixAddKernel(8, 1));
+}
+
+TEST(ResultIo, CsvRoundTripsEveryField) {
+  const ExplorationResult original = sampleResult();
+  const ExplorationResult parsed =
+      fromCsvString(toCsvString(original));
+  EXPECT_EQ(parsed.workload, original.workload);
+  ASSERT_EQ(parsed.points.size(), original.points.size());
+  for (std::size_t i = 0; i < parsed.points.size(); ++i) {
+    EXPECT_EQ(parsed.points[i].key, original.points[i].key);
+    EXPECT_EQ(parsed.points[i].accesses, original.points[i].accesses);
+    EXPECT_NEAR(parsed.points[i].missRate, original.points[i].missRate,
+                1e-9);
+    EXPECT_NEAR(parsed.points[i].cycles, original.points[i].cycles,
+                original.points[i].cycles * 1e-9 + 1e-9);
+    EXPECT_NEAR(parsed.points[i].energyNj, original.points[i].energyNj,
+                original.points[i].energyNj * 1e-9 + 1e-9);
+  }
+}
+
+TEST(ResultIo, CsvHeaderChecked) {
+  EXPECT_THROW(fromCsvString("bogus,header\n1,2\n"), ContractViolation);
+  EXPECT_THROW(fromCsvString(""), ContractViolation);
+}
+
+TEST(ResultIo, CsvRowShapeChecked) {
+  std::string text = toCsvString(sampleResult());
+  text += "too,few,columns\n";
+  EXPECT_THROW(fromCsvString(text), ContractViolation);
+}
+
+TEST(ResultIo, CsvBadFieldChecked) {
+  const std::string good = toCsvString(sampleResult());
+  const std::size_t firstRow = good.find('\n') + 1;
+  std::string bad = good.substr(0, firstRow);
+  bad += "matadd,notanumber,8,1,1,192,0.1,100,50\n";
+  EXPECT_THROW(fromCsvString(bad), ContractViolation);
+}
+
+TEST(ResultIo, EmptyResultRoundTrips) {
+  ExplorationResult empty;
+  empty.workload = "none";
+  const ExplorationResult parsed = fromCsvString(toCsvString(empty));
+  EXPECT_TRUE(parsed.points.empty());
+}
+
+TEST(ResultIo, JsonShapeIsSane) {
+  const std::string json = toJsonString(sampleResult());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"workload\": \"matadd\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"miss_rate\": "), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ResultIo, JsonEscapesQuotes) {
+  ExplorationResult r;
+  r.workload = "we\"ird";
+  const std::string json = toJsonString(r);
+  EXPECT_NE(json.find("we\\\"ird"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "memx/core/sensitivity.hpp"
+#include "memx/energy/sram_catalog.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+ExploreOptions smallSweep() {
+  ExploreOptions o;
+  o.ranges.minCacheBytes = 16;
+  o.ranges.maxCacheBytes = 256;
+  o.ranges.minLineBytes = 4;
+  o.ranges.maxLineBytes = 16;
+  o.ranges.sweepAssociativity = false;
+  o.ranges.sweepTiling = false;
+  return o;
+}
+
+TEST(Sensitivity, EmSweepMovesTheSelection) {
+  // Figure 1's lesson as a property: under a cheap main memory the
+  // min-energy cache is no bigger than under an expensive one.
+  const Kernel k = compressKernel();
+  const double values[] = {kEmLow2MbitNj, kEmCypress2MbitNj,
+                           kEmHigh16MbitNj};
+  const auto rows = sweepEmSensitivity(k, values, smallSweep());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_LE(rows.front().minEnergyKey.cacheBytes,
+            rows.back().minEnergyKey.cacheBytes);
+  // Energy of the chosen point grows with Em.
+  EXPECT_LT(rows.front().minEnergyNj, rows.back().minEnergyNj);
+}
+
+TEST(Sensitivity, RowsCarryParameterValues) {
+  const double values[] = {2.0, 4.0};
+  const auto rows = sweepEmSensitivity(dequantKernel(8), values,
+                                       smallSweep());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].parameterValue, 2.0);
+  EXPECT_DOUBLE_EQ(rows[1].parameterValue, 4.0);
+}
+
+TEST(Sensitivity, GenericMutatorSweepsAnyParameter) {
+  const Kernel k = matrixAddKernel(8, 1);
+  const double activities[] = {0.1, 0.9};
+  const auto rows = sweepSensitivity(
+      k, activities,
+      [](ExploreOptions& o, double v) { o.energy.dataActivity = v; },
+      smallSweep());
+  ASSERT_EQ(rows.size(), 2u);
+  // Higher bus activity means higher miss energy everywhere.
+  EXPECT_LE(rows[0].minEnergyNj, rows[1].minEnergyNj);
+}
+
+TEST(Sensitivity, MinCycleSelectionIndependentOfEnergyParams) {
+  const Kernel k = sorKernel();
+  const double values[] = {1.0, 50.0};
+  const auto rows = sweepEmSensitivity(k, values, smallSweep());
+  // Em only affects energy; the min-cycle choice must not move.
+  EXPECT_EQ(rows[0].minCycleKey, rows[1].minCycleKey);
+  EXPECT_DOUBLE_EQ(rows[0].minCycles, rows[1].minCycles);
+}
+
+TEST(Sensitivity, StabilityPredicate) {
+  SensitivityRow a;
+  a.minEnergyKey = ConfigKey{64, 8, 1, 1};
+  SensitivityRow b = a;
+  EXPECT_TRUE(selectionStable(std::vector<SensitivityRow>{a, b}));
+  b.minEnergyKey = ConfigKey{128, 8, 1, 1};
+  EXPECT_FALSE(selectionStable(std::vector<SensitivityRow>{a, b}));
+  EXPECT_TRUE(selectionStable(std::vector<SensitivityRow>{}));
+}
+
+TEST(Sensitivity, RejectsNullMutator) {
+  const double values[] = {1.0};
+  EXPECT_THROW(
+      sweepSensitivity(compressKernel(), values, OptionsMutator{},
+                       smallSweep()),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace memx

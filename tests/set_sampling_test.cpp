@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/cachesim/set_sampling.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/trace/generators.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig dm(std::uint32_t size, std::uint32_t line) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  return c;
+}
+
+TEST(SetSampling, KeepsOnlyMatchingSets) {
+  const Trace t = stridedTrace(0, 64, 8, 4);  // one ref per line
+  const Trace sampled = sampleSets(t, 8, 8, 2, 0);
+  EXPECT_EQ(sampled.size(), 32u);
+  for (const MemRef& r : sampled) {
+    EXPECT_EQ((r.addr / 8) % 8 % 2, 0u);
+  }
+}
+
+TEST(SetSampling, OffsetsPartitionTheTrace) {
+  const Trace t = randomTrace(0, 8192, 2000, 3);
+  std::size_t total = 0;
+  for (std::uint32_t off = 0; off < 4; ++off) {
+    total += sampleSets(t, 8, 16, 4, off).size();
+  }
+  EXPECT_EQ(total, t.size());
+}
+
+TEST(SetSampling, FactorOneIsExact) {
+  const Trace t = randomTrace(0, 8192, 3000, 7);
+  const CacheConfig c = dm(256, 8);
+  EXPECT_DOUBLE_EQ(estimateMissRateBySetSampling(c, t, 1),
+                   simulateTrace(c, t).missRate());
+}
+
+TEST(SetSampling, EstimateTracksFullSimulationOnRandom) {
+  const Trace t = randomTrace(0, 16384, 20000, 13);
+  const CacheConfig c = dm(512, 8);  // 64 sets
+  const double full = simulateTrace(c, t).missRate();
+  for (const std::uint32_t factor : {2u, 4u, 8u}) {
+    const double est = estimateMissRateBySetSampling(c, t, factor);
+    EXPECT_NEAR(est, full, 0.05) << "factor=" << factor;
+  }
+}
+
+TEST(SetSampling, EstimateTracksFullSimulationOnKernels) {
+  for (const Kernel& k : {sorKernel(), dequantKernel()}) {
+    const Trace t = generateTrace(k);
+    const CacheConfig c = dm(256, 8);  // 32 sets
+    const double full = simulateTrace(c, t).missRate();
+    const double est = estimateMissRateBySetSampling(c, t, 4);
+    EXPECT_NEAR(est, full, 0.08) << k.name;
+  }
+}
+
+TEST(SetSampling, AverageOverOffsetsIsCloser) {
+  const Trace t = randomTrace(0, 16384, 10000, 17);
+  const CacheConfig c = dm(512, 8);
+  const double full = simulateTrace(c, t).missRate();
+  double sum = 0.0;
+  for (std::uint32_t off = 0; off < 4; ++off) {
+    sum += estimateMissRateBySetSampling(c, t, 4, off);
+  }
+  EXPECT_NEAR(sum / 4.0, full, 0.02);
+}
+
+TEST(SetSampling, RejectsBadArguments) {
+  const Trace t = stridedTrace(0, 8, 8);
+  EXPECT_THROW(sampleSets(t, 12, 8, 2), ContractViolation);
+  EXPECT_THROW(sampleSets(t, 8, 8, 3), ContractViolation);
+  EXPECT_THROW(sampleSets(t, 8, 8, 16), ContractViolation);
+  EXPECT_THROW(sampleSets(t, 8, 8, 2, 5), ContractViolation);
+}
+
+TEST(SetSampling, EmptySampleYieldsZero) {
+  // A trace that only touches set 1 sampled at offset 0 is empty.
+  const Trace t = stridedTrace(8, 10, 0);
+  EXPECT_DOUBLE_EQ(
+      estimateMissRateBySetSampling(dm(64, 8), t, 8, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace memx

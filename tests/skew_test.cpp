@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/util/assert.hpp"
+#include "memx/xform/dependence.hpp"
+#include "memx/xform/tiling.hpp"
+
+namespace memx {
+namespace {
+
+AffineExpr I(std::int64_t c = 0) { return AffineExpr::var(0).plusConstant(c); }
+AffineExpr J(std::int64_t c = 0) { return AffineExpr::var(1).plusConstant(c); }
+
+/// Wavefront stencil a[i][j] = a[i-1][j+1]: distance (1, -1), which
+/// blocks rectangular tiling until the inner loop is skewed.
+Kernel wavefrontKernel(std::int64_t n = 10) {
+  Kernel k;
+  k.name = "wavefront";
+  k.arrays = {ArrayDecl{"a", {n, n}, 1}};
+  k.nest = LoopNest::rectangular({{1, n - 2}, {0, n - 2}});
+  k.body = {makeAccess(0, {I(-1), J(+1)}),
+            makeAccess(0, {I(), J()}, AccessType::Write)};
+  k.validate();
+  return k;
+}
+
+std::map<std::uint64_t, std::size_t> multiset(const Trace& t) {
+  std::map<std::uint64_t, std::size_t> m;
+  for (const MemRef& r : t) ++m[r.addr];
+  return m;
+}
+
+TEST(Skew, PreservesTraceExactly) {
+  const Kernel k = wavefrontKernel();
+  const Kernel skewed = skew(k, 1, 0, 1);
+  const Trace a = generateTrace(k);
+  const Trace b = generateTrace(skewed);
+  ASSERT_EQ(a.size(), b.size());
+  // Skewing renames the induction variable without reordering anything:
+  // the traces are identical access for access.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].addr, b[i].addr) << "i=" << i;
+    EXPECT_EQ(a[i].type, b[i].type);
+  }
+}
+
+TEST(Skew, MakesWavefrontTileable) {
+  const Kernel k = wavefrontKernel();
+  // Distance (1, -1): rectangular tiling of (i, j) is illegal.
+  EXPECT_FALSE(tilingIsLegal(k));
+  // After skewing j by i, the distance becomes (1, 0): legal.
+  const Kernel skewed = skew(k, 1, 0, 1);
+  EXPECT_TRUE(tilingIsLegal(skewed));
+}
+
+TEST(Skew, DependenceDistancesShiftByFactor) {
+  const Kernel skewed = skew(wavefrontKernel(), 1, 0, 2);
+  // d' = (1, -1 + 2*1) = (1, 1).
+  bool found = false;
+  for (const Dependence& d : computeDependences(skewed)) {
+    if (d.isDistanceVector() && d.distance.size() >= 2 &&
+        *d.distance[0].value == 1) {
+      EXPECT_EQ(*d.distance[1].value, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Skew, SkewedThenTiledStillSameMultiset) {
+  const Kernel k = wavefrontKernel(12);
+  const Kernel skewed = skew(k, 1, 0, 1);
+  // The skewed nest has affine bounds, so tiling must reject it (the
+  // transform requires rectangular input)...
+  EXPECT_THROW(tile2D(skewed, 2), ContractViolation);
+  // ...but the untiled skewed traversal still covers the same accesses.
+  EXPECT_EQ(multiset(generateTrace(skewed)), multiset(generateTrace(k)));
+}
+
+TEST(Skew, RejectsBadLevels) {
+  const Kernel k = wavefrontKernel();
+  EXPECT_THROW(skew(k, 0, 1, 1), ContractViolation);  // source inner
+  EXPECT_THROW(skew(k, 1, 1, 1), ContractViolation);  // same level
+  EXPECT_THROW(skew(k, 5, 0, 1), ContractViolation);  // out of range
+}
+
+TEST(Skew, IterationCountUnchanged) {
+  const Kernel k = wavefrontKernel(9);
+  EXPECT_EQ(skew(k, 1, 0, 3).nest.iterationCount(),
+            k.nest.iterationCount());
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "memx/timing/cycle_model.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+CacheConfig cfg(std::uint32_t size, std::uint32_t line,
+                std::uint32_t ways = 1) {
+  CacheConfig c;
+  c.sizeBytes = size;
+  c.lineBytes = line;
+  c.associativity = ways;
+  return c;
+}
+
+TEST(CycleModel, PaperHitCycleTable) {
+  const CycleModel m;
+  EXPECT_DOUBLE_EQ(m.cyclesPerHit(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.cyclesPerHit(2), 1.1);
+  EXPECT_DOUBLE_EQ(m.cyclesPerHit(4), 1.12);
+  EXPECT_DOUBLE_EQ(m.cyclesPerHit(8), 1.14);
+}
+
+TEST(CycleModel, PaperMissCycleTable) {
+  const CycleModel m;
+  EXPECT_DOUBLE_EQ(m.cyclesPerMiss(4), 40.0);
+  EXPECT_DOUBLE_EQ(m.cyclesPerMiss(8), 40.0);
+  EXPECT_DOUBLE_EQ(m.cyclesPerMiss(16), 42.0);
+  EXPECT_DOUBLE_EQ(m.cyclesPerMiss(32), 44.0);
+  EXPECT_DOUBLE_EQ(m.cyclesPerMiss(64), 48.0);
+  EXPECT_DOUBLE_EQ(m.cyclesPerMiss(128), 56.0);
+  EXPECT_DOUBLE_EQ(m.cyclesPerMiss(256), 72.0);
+}
+
+TEST(CycleModel, RejectsOutOfTableValues) {
+  const CycleModel m;
+  EXPECT_THROW((void)m.cyclesPerHit(16), ContractViolation);
+  EXPECT_THROW((void)m.cyclesPerHit(3), ContractViolation);
+  EXPECT_THROW((void)m.cyclesPerMiss(2), ContractViolation);
+  EXPECT_THROW((void)m.cyclesPerMiss(512), ContractViolation);
+}
+
+TEST(CycleModel, PaperFormulaUntiled) {
+  const CycleModel m;
+  // 1000 accesses, 10% misses, direct-mapped, L=8, B=1:
+  // 900*1 + 100*(1 + 40) = 5000.
+  EXPECT_DOUBLE_EQ(m.cycles(1000, 0.1, cfg(64, 8), 1), 900.0 + 100 * 41);
+}
+
+TEST(CycleModel, TilingTermAddsToMissPenalty) {
+  const CycleModel m;
+  const double b1 = m.cycles(1000, 0.1, cfg(64, 8), 1);
+  const double b8 = m.cycles(1000, 0.1, cfg(64, 8), 8);
+  EXPECT_DOUBLE_EQ(b8 - b1, 100 * 7.0);  // misses * (8 - 1)
+}
+
+TEST(CycleModel, AssociativityRaisesHitTime) {
+  const CycleModel m;
+  const double dm1 = m.cycles(1000, 0.0, cfg(64, 8, 1));
+  const double sa8 = m.cycles(1000, 0.0, cfg(64, 8, 8));
+  EXPECT_DOUBLE_EQ(dm1, 1000.0);
+  EXPECT_DOUBLE_EQ(sa8, 1140.0);
+}
+
+TEST(CycleModel, LargerLinesCostMorePerMiss) {
+  const CycleModel m;
+  const double l4 = m.cycles(1000, 0.5, cfg(1024, 4));
+  const double l256 = m.cycles(1000, 0.5, cfg(1024, 256));
+  EXPECT_LT(l4, l256);
+}
+
+TEST(CycleModel, BreakdownSumsToTotal) {
+  const CycleModel m;
+  const CycleBreakdown b = m.breakdown(500, 0.2, cfg(128, 16, 2), 4);
+  EXPECT_DOUBLE_EQ(b.total(), m.cycles(500, 0.2, cfg(128, 16, 2), 4));
+  EXPECT_DOUBLE_EQ(b.hitCycles, 400 * 1.1);
+  EXPECT_DOUBLE_EQ(b.missCycles, 100 * (4 + 42));
+}
+
+TEST(CycleModel, FromStats) {
+  const CycleModel m;
+  CacheStats s;
+  s.reads = 1000;
+  s.readHits = 900;
+  s.readMisses = 100;
+  EXPECT_DOUBLE_EQ(m.cycles(s, cfg(64, 8)), m.cycles(1000, 0.1, cfg(64, 8)));
+}
+
+TEST(CycleModel, RejectsBadInputs) {
+  const CycleModel m;
+  EXPECT_THROW((void)m.cycles(100, -0.1, cfg(64, 8)), ContractViolation);
+  EXPECT_THROW((void)m.cycles(100, 1.5, cfg(64, 8)), ContractViolation);
+  EXPECT_THROW((void)m.cycles(100, 0.5, cfg(64, 8), 0), ContractViolation);
+}
+
+TEST(TimingParams, ValidateRejectsEmptyOrNonPositive) {
+  TimingParams p;
+  p.hitCyclesByAssoc.clear();
+  EXPECT_THROW(p.validate(), ContractViolation);
+  p = TimingParams{};
+  p.missCyclesByLine[2] = -1;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(TimingParams, CustomTablesHonored) {
+  TimingParams p;
+  p.hitCyclesByAssoc = {2.0};
+  p.missCyclesByLine = {10, 20};  // L = 4, 8
+  const CycleModel m(p);
+  EXPECT_DOUBLE_EQ(m.cyclesPerHit(1), 2.0);
+  EXPECT_DOUBLE_EQ(m.cyclesPerMiss(8), 20.0);
+  EXPECT_THROW((void)m.cyclesPerMiss(16), ContractViolation);
+}
+
+/// Property: cycles are monotone in miss rate for any geometry.
+class MissRateMonotone
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MissRateMonotone, MoreMissesMoreCycles) {
+  const auto [line, ways] = GetParam();
+  const CycleModel m;
+  double prev = -1.0;
+  for (double mr = 0.0; mr <= 1.0; mr += 0.1) {
+    const double c =
+        m.cycles(1000, mr,
+                 cfg(1024, static_cast<std::uint32_t>(line),
+                     static_cast<std::uint32_t>(ways)));
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, MissRateMonotone,
+                         ::testing::Values(std::make_pair(4, 1),
+                                           std::make_pair(8, 2),
+                                           std::make_pair(32, 4),
+                                           std::make_pair(64, 8)));
+
+}  // namespace
+}  // namespace memx

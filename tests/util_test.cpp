@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+#include "memx/util/pow2_range.hpp"
+
+namespace memx {
+namespace {
+
+TEST(Bits, IsPow2RecognizesPowers) {
+  EXPECT_TRUE(isPow2(1));
+  EXPECT_TRUE(isPow2(2));
+  EXPECT_TRUE(isPow2(64));
+  EXPECT_TRUE(isPow2(1ull << 40));
+}
+
+TEST(Bits, IsPow2RejectsNonPowers) {
+  EXPECT_FALSE(isPow2(0));
+  EXPECT_FALSE(isPow2(3));
+  EXPECT_FALSE(isPow2(6));
+  EXPECT_FALSE(isPow2(36));
+}
+
+TEST(Bits, Log2ExactOnPowers) {
+  EXPECT_EQ(log2Exact(1), 0u);
+  EXPECT_EQ(log2Exact(2), 1u);
+  EXPECT_EQ(log2Exact(1024), 10u);
+}
+
+TEST(Bits, Log2Floor) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(7), 2u);
+  EXPECT_EQ(log2Floor(8), 3u);
+  EXPECT_EQ(log2Floor(9), 3u);
+}
+
+TEST(Bits, GrayCodeRoundTrips) {
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    EXPECT_EQ(grayDecode(grayEncode(v)), v);
+  }
+}
+
+TEST(Bits, GrayAdjacentValuesDifferInOneBit) {
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    EXPECT_EQ(hammingDistance(grayEncode(v), grayEncode(v + 1)), 1u);
+  }
+}
+
+TEST(Bits, HammingDistanceCountsDifferingBits) {
+  EXPECT_EQ(hammingDistance(0, 0), 0u);
+  EXPECT_EQ(hammingDistance(0b1010, 0b0101), 4u);
+  EXPECT_EQ(hammingDistance(0xFF, 0x0F), 4u);
+}
+
+TEST(Bits, AlignUp) {
+  EXPECT_EQ(alignUp(0, 8), 0u);
+  EXPECT_EQ(alignUp(1, 8), 8u);
+  EXPECT_EQ(alignUp(8, 8), 8u);
+  EXPECT_EQ(alignUp(9, 4), 12u);
+}
+
+TEST(Pow2Range, InclusiveEndpoints) {
+  const auto r = pow2Range(4, 64);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_EQ(r.front(), 4u);
+  EXPECT_EQ(r.back(), 64u);
+}
+
+TEST(Pow2Range, SingleElement) {
+  const auto r = pow2Range(16, 16);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], 16u);
+}
+
+TEST(Pow2Range, RejectsNonPowerBounds) {
+  EXPECT_THROW(pow2Range(3, 16), ContractViolation);
+  EXPECT_THROW(pow2Range(4, 17), ContractViolation);
+}
+
+TEST(Pow2Range, RejectsInvertedBounds) {
+  EXPECT_THROW(pow2Range(32, 16), ContractViolation);
+}
+
+TEST(Contracts, ExpectsThrowsWithContext) {
+  try {
+    MEMX_EXPECTS(false, "something went wrong");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("something went wrong"), std::string::npos);
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsuresThrowsPostcondition) {
+  try {
+    MEMX_ENSURES(false, "invariant broken");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("postcondition"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace memx

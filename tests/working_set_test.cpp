@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/trace/generators.hpp"
+#include "memx/trace/working_set.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+TEST(ReuseProfile, ColdMissesAreFirstTouches) {
+  const Trace t = stridedTrace(0, 16, 8, 4);  // 16 distinct 8-byte lines
+  const ReuseProfile p(t, 8);
+  EXPECT_EQ(p.coldMisses(), 16u);
+  EXPECT_EQ(p.uniqueLines(), 16u);
+  EXPECT_EQ(p.accesses(), 16u);
+}
+
+TEST(ReuseProfile, ImmediateReuseIsDistanceZero) {
+  Trace t;
+  t.push(readRef(0));
+  t.push(readRef(0));
+  t.push(readRef(0));
+  const ReuseProfile p(t, 8);
+  EXPECT_EQ(p.countAtDistance(0), 2u);
+  EXPECT_EQ(p.coldMisses(), 1u);
+}
+
+TEST(ReuseProfile, CyclicSweepHasDistanceEqualToSetSize) {
+  // Looping over 8 lines: each revisit has stack distance 7.
+  const Trace t = loopingTrace(0, 8, 3, 8);  // 8 lines x 3 rounds
+  const ReuseProfile p(t, 8);
+  EXPECT_EQ(p.countAtDistance(7), 16u);  // rounds 2 and 3
+  EXPECT_EQ(p.coldMisses(), 8u);
+}
+
+TEST(ReuseProfile, PredictsFullyAssociativeMissRateExactly) {
+  // Mattson's theorem: the stack-distance prediction equals an actual
+  // fully-associative LRU simulation, for every capacity.
+  for (const Kernel& k :
+       {compressKernel(), sorKernel(), dequantKernel()}) {
+    const Trace t = generateTrace(k);
+    const ReuseProfile p(t, 8);
+    for (const std::uint32_t sizeBytes : {16u, 64u, 256u, 1024u}) {
+      CacheConfig fa;
+      fa.sizeBytes = sizeBytes;
+      fa.lineBytes = 8;
+      fa.associativity = fa.numLines();
+      const double simulated = simulateTrace(fa, t).missRate();
+      const double predicted = p.predictedMissRate(fa.numLines());
+      EXPECT_NEAR(predicted, simulated, 1e-12)
+          << k.name << " size=" << sizeBytes;
+    }
+  }
+}
+
+TEST(ReuseProfile, MissRateMonotoneInCapacity) {
+  const Trace t = generateTrace(pdeKernel());
+  const ReuseProfile p(t, 8);
+  double prev = 1.1;
+  for (std::uint64_t lines = 1; lines <= 256; lines *= 2) {
+    const double mr = p.predictedMissRate(lines);
+    EXPECT_LE(mr, prev);
+    prev = mr;
+  }
+}
+
+TEST(ReuseProfile, LinesForHitRateFindsTheKnee) {
+  const Trace t = loopingTrace(0, 8, 10, 8);  // 8 lines, 10 rounds
+  const ReuseProfile p(t, 8);
+  // 90% of accesses hit once 8 lines are resident.
+  EXPECT_EQ(p.linesForHitRate(0.85), 8u);
+  // 100% is unreachable (cold misses): falls back to uniqueLines.
+  EXPECT_EQ(p.linesForHitRate(1.0), 8u);
+}
+
+TEST(ReuseProfile, EmptyTrace) {
+  const ReuseProfile p(Trace{}, 8);
+  EXPECT_EQ(p.accesses(), 0u);
+  EXPECT_DOUBLE_EQ(p.predictedMissRate(4), 0.0);
+  EXPECT_EQ(p.linesForHitRate(0.5), 0u);
+}
+
+TEST(ReuseProfile, RejectsBadArguments) {
+  EXPECT_THROW(ReuseProfile(Trace{}, 12), ContractViolation);
+  const ReuseProfile p(Trace{}, 8);
+  EXPECT_THROW((void)p.linesForHitRate(1.5), ContractViolation);
+}
+
+TEST(ReuseProfile, StraddlingAccessTouchesBothLines) {
+  Trace t;
+  t.push(readRef(6, 4));  // lines 0 and 1 at L=8
+  t.push(readRef(6, 4));
+  const ReuseProfile p(t, 8);
+  EXPECT_EQ(p.accesses(), 4u);  // two line touches per access
+  EXPECT_EQ(p.coldMisses(), 2u);
+  EXPECT_EQ(p.countAtDistance(1), 2u);  // each line one below the other
+}
+
+}  // namespace
+}  // namespace memx

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/write_buffer.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/loopir/trace_gen.hpp"
+#include "memx/trace/generators.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+TEST(WriteBuffer, ConfigValidation) {
+  WriteBufferConfig c;
+  c.entries = 0;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = WriteBufferConfig{};
+  c.lineBytes = 12;
+  EXPECT_THROW(c.validate(), ContractViolation);
+  c = WriteBufferConfig{};
+  c.drainInterval = 0;
+  EXPECT_THROW(c.validate(), ContractViolation);
+}
+
+TEST(WriteBuffer, ReadsDoNotEnterTheBuffer) {
+  WriteBuffer wb(WriteBufferConfig{});
+  wb.run(stridedTrace(0, 100, 4, 4, AccessType::Read));
+  EXPECT_EQ(wb.stats().writesSeen, 0u);
+  EXPECT_EQ(wb.stats().memWrites, 0u);
+}
+
+TEST(WriteBuffer, SameLineStoresMerge) {
+  WriteBufferConfig c;
+  c.lineBytes = 8;
+  c.drainInterval = 1000;  // nothing drains during the run
+  WriteBuffer wb(c);
+  // Four stores into one 8-byte line.
+  for (std::uint64_t a : {0u, 2u, 4u, 6u}) wb.observe(writeRef(a, 1));
+  EXPECT_EQ(wb.stats().writesSeen, 4u);
+  EXPECT_EQ(wb.stats().merged, 3u);
+  EXPECT_EQ(wb.pending(), 1u);
+  wb.flush();
+  EXPECT_EQ(wb.stats().memWrites, 1u);
+  EXPECT_DOUBLE_EQ(wb.stats().mergeRate(), 0.75);
+}
+
+TEST(WriteBuffer, DistinctLinesDoNotMerge) {
+  WriteBufferConfig c;
+  c.entries = 16;
+  c.drainInterval = 1000;
+  WriteBuffer wb(c);
+  for (std::uint64_t a = 0; a < 8; ++a) wb.observe(writeRef(a * 8, 1));
+  EXPECT_EQ(wb.stats().merged, 0u);
+  EXPECT_EQ(wb.pending(), 8u);
+}
+
+TEST(WriteBuffer, FullBufferStalls) {
+  WriteBufferConfig c;
+  c.entries = 2;
+  c.drainInterval = 100;  // effectively never drains on its own
+  WriteBuffer wb(c);
+  wb.observe(writeRef(0));
+  wb.observe(writeRef(64));
+  EXPECT_EQ(wb.stats().stallCycles, 0u);
+  wb.observe(writeRef(128));  // full: must force out the head
+  EXPECT_GT(wb.stats().stallCycles, 0u);
+  EXPECT_EQ(wb.stats().memWrites, 1u);
+}
+
+TEST(WriteBuffer, DrainsBetweenAccesses) {
+  WriteBufferConfig c;
+  c.entries = 8;
+  c.drainInterval = 2;
+  WriteBuffer wb(c);
+  wb.observe(writeRef(0));
+  // Two reads give the buffer time to retire the line.
+  wb.observe(readRef(1000));
+  wb.observe(readRef(1004));
+  EXPECT_EQ(wb.pending(), 0u);
+  EXPECT_EQ(wb.stats().memWrites, 1u);
+  EXPECT_EQ(wb.stats().stallCycles, 0u);
+}
+
+TEST(WriteBuffer, FlushRetiresEverything) {
+  WriteBufferConfig c;
+  c.drainInterval = 1000;
+  WriteBuffer wb(c);
+  wb.observe(writeRef(0));
+  wb.observe(writeRef(64));
+  wb.flush();
+  EXPECT_EQ(wb.pending(), 0u);
+  EXPECT_EQ(wb.stats().memWrites, 2u);
+}
+
+TEST(WriteBuffer, KernelStoresMergeWell) {
+  // Compress writes a[i][j] sequentially: byte elements share lines.
+  const Trace t = generateTrace(compressKernel());
+  WriteBufferConfig c;
+  c.lineBytes = 8;
+  c.entries = 4;
+  c.drainInterval = 8;
+  WriteBuffer wb(c);
+  wb.run(t);
+  EXPECT_EQ(wb.stats().writesSeen, 961u);
+  EXPECT_GT(wb.stats().mergeRate(), 0.3);
+}
+
+/// Property: memWrites + merged == writesSeen after a flush.
+class WriteBufferConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(WriteBufferConservation, StoresAreConserved) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Trace t = randomTrace(0, 4096, 1000, seed, 4, AccessType::Write);
+  t.append(randomTrace(0, 4096, 1000, seed + 1, 4, AccessType::Read));
+  WriteBufferConfig c;
+  c.entries = 4;
+  c.drainInterval = 3;
+  WriteBuffer wb(c);
+  wb.run(t);
+  EXPECT_EQ(wb.stats().memWrites + wb.stats().merged,
+            wb.stats().writesSeen);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WriteBufferConservation,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace memx
