@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_addr_encoding.dir/ablation_addr_encoding.cpp.o"
+  "CMakeFiles/ablation_addr_encoding.dir/ablation_addr_encoding.cpp.o.d"
+  "ablation_addr_encoding"
+  "ablation_addr_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_addr_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dram.dir/ablation_dram.cpp.o"
+  "CMakeFiles/ablation_dram.dir/ablation_dram.cpp.o.d"
+  "ablation_dram"
+  "ablation_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

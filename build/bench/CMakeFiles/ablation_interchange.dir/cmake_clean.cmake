@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interchange.dir/ablation_interchange.cpp.o"
+  "CMakeFiles/ablation_interchange.dir/ablation_interchange.cpp.o.d"
+  "ablation_interchange"
+  "ablation_interchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_leakage.dir/ablation_leakage.cpp.o"
+  "CMakeFiles/ablation_leakage.dir/ablation_leakage.cpp.o.d"
+  "ablation_leakage"
+  "ablation_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_plru.dir/ablation_plru.cpp.o"
+  "CMakeFiles/ablation_plru.dir/ablation_plru.cpp.o.d"
+  "ablation_plru"
+  "ablation_plru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_plru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_plru.
+# This may be replaced when dependencies are built.

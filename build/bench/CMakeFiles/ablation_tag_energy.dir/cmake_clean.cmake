@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tag_energy.dir/ablation_tag_energy.cpp.o"
+  "CMakeFiles/ablation_tag_energy.dir/ablation_tag_energy.cpp.o.d"
+  "ablation_tag_energy"
+  "ablation_tag_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tag_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

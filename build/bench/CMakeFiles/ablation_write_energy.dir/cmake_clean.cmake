@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_energy.dir/ablation_write_energy.cpp.o"
+  "CMakeFiles/ablation_write_energy.dir/ablation_write_energy.cpp.o.d"
+  "ablation_write_energy"
+  "ablation_write_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hierarchy.dir/ext_hierarchy.cpp.o"
+  "CMakeFiles/ext_hierarchy.dir/ext_hierarchy.cpp.o.d"
+  "ext_hierarchy"
+  "ext_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_icache.dir/ext_icache.cpp.o"
+  "CMakeFiles/ext_icache.dir/ext_icache.cpp.o.d"
+  "ext_icache"
+  "ext_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

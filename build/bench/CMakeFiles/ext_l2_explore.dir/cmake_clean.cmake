@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_l2_explore.dir/ext_l2_explore.cpp.o"
+  "CMakeFiles/ext_l2_explore.dir/ext_l2_explore.cpp.o.d"
+  "ext_l2_explore"
+  "ext_l2_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_l2_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_parallel_sweep.dir/ext_parallel_sweep.cpp.o"
+  "CMakeFiles/ext_parallel_sweep.dir/ext_parallel_sweep.cpp.o.d"
+  "ext_parallel_sweep"
+  "ext_parallel_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_parallel_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scratchpad.dir/ext_scratchpad.cpp.o"
+  "CMakeFiles/ext_scratchpad.dir/ext_scratchpad.cpp.o.d"
+  "ext_scratchpad"
+  "ext_scratchpad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scratchpad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

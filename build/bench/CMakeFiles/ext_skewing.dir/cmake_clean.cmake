@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_skewing.dir/ext_skewing.cpp.o"
+  "CMakeFiles/ext_skewing.dir/ext_skewing.cpp.o.d"
+  "ext_skewing"
+  "ext_skewing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_skewing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_warm_chaining.dir/ext_warm_chaining.cpp.o"
+  "CMakeFiles/ext_warm_chaining.dir/ext_warm_chaining.cpp.o.d"
+  "ext_warm_chaining"
+  "ext_warm_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_warm_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

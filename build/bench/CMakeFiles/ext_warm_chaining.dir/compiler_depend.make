@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_warm_chaining.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_warm_chaining.
+# This may be replaced when dependencies are built.

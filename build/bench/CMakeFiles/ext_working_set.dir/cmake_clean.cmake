@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_working_set.dir/ext_working_set.cpp.o"
+  "CMakeFiles/ext_working_set.dir/ext_working_set.cpp.o.d"
+  "ext_working_set"
+  "ext_working_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_energy_em_extremes.dir/fig01_energy_em_extremes.cpp.o"
+  "CMakeFiles/fig01_energy_em_extremes.dir/fig01_energy_em_extremes.cpp.o.d"
+  "fig01_energy_em_extremes"
+  "fig01_energy_em_extremes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_energy_em_extremes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_metric_grid.dir/fig02_metric_grid.cpp.o"
+  "CMakeFiles/fig02_metric_grid.dir/fig02_metric_grid.cpp.o.d"
+  "fig02_metric_grid"
+  "fig02_metric_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_metric_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_compress_cycles.dir/fig03_compress_cycles.cpp.o"
+  "CMakeFiles/fig03_compress_cycles.dir/fig03_compress_cycles.cpp.o.d"
+  "fig03_compress_cycles"
+  "fig03_compress_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_compress_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

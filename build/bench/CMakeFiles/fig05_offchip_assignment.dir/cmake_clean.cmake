@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_offchip_assignment.dir/fig05_offchip_assignment.cpp.o"
+  "CMakeFiles/fig05_offchip_assignment.dir/fig05_offchip_assignment.cpp.o.d"
+  "fig05_offchip_assignment"
+  "fig05_offchip_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_offchip_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_tiling.dir/fig06_tiling.cpp.o"
+  "CMakeFiles/fig06_tiling.dir/fig06_tiling.cpp.o.d"
+  "fig06_tiling"
+  "fig06_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

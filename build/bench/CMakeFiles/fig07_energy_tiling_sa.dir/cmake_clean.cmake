@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_energy_tiling_sa.dir/fig07_energy_tiling_sa.cpp.o"
+  "CMakeFiles/fig07_energy_tiling_sa.dir/fig07_energy_tiling_sa.cpp.o.d"
+  "fig07_energy_tiling_sa"
+  "fig07_energy_tiling_sa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_energy_tiling_sa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_set_assoc.dir/fig08_set_assoc.cpp.o"
+  "CMakeFiles/fig08_set_assoc.dir/fig08_set_assoc.cpp.o.d"
+  "fig08_set_assoc"
+  "fig08_set_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_set_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_sa_tiling_combined.dir/fig09_sa_tiling_combined.cpp.o"
+  "CMakeFiles/fig09_sa_tiling_combined.dir/fig09_sa_tiling_combined.cpp.o.d"
+  "fig09_sa_tiling_combined"
+  "fig09_sa_tiling_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sa_tiling_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

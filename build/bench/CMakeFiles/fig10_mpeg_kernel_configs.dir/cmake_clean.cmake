@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mpeg_kernel_configs.dir/fig10_mpeg_kernel_configs.cpp.o"
+  "CMakeFiles/fig10_mpeg_kernel_configs.dir/fig10_mpeg_kernel_configs.cpp.o.d"
+  "fig10_mpeg_kernel_configs"
+  "fig10_mpeg_kernel_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mpeg_kernel_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

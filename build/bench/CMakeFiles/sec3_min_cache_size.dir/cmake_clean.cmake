@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_min_cache_size.dir/sec3_min_cache_size.cpp.o"
+  "CMakeFiles/sec3_min_cache_size.dir/sec3_min_cache_size.cpp.o.d"
+  "sec3_min_cache_size"
+  "sec3_min_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_min_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_mpeg_casestudy.dir/sec5_mpeg_casestudy.cpp.o"
+  "CMakeFiles/sec5_mpeg_casestudy.dir/sec5_mpeg_casestudy.cpp.o.d"
+  "sec5_mpeg_casestudy"
+  "sec5_mpeg_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_mpeg_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_kernel.dir/explore_kernel.cpp.o"
+  "CMakeFiles/explore_kernel.dir/explore_kernel.cpp.o.d"
+  "explore_kernel"
+  "explore_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

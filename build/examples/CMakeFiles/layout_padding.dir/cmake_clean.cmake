@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_padding.dir/layout_padding.cpp.o"
+  "CMakeFiles/layout_padding.dir/layout_padding.cpp.o.d"
+  "layout_padding"
+  "layout_padding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_cli.dir/memx_cli.cpp.o"
+  "CMakeFiles/memx_cli.dir/memx_cli.cpp.o.d"
+  "memx_cli"
+  "memx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

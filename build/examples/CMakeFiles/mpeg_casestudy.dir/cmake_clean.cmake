@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpeg_casestudy.dir/mpeg_casestudy.cpp.o"
+  "CMakeFiles/mpeg_casestudy.dir/mpeg_casestudy.cpp.o.d"
+  "mpeg_casestudy"
+  "mpeg_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpeg_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

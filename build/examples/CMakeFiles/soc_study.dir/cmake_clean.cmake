@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_study.dir/soc_study.cpp.o"
+  "CMakeFiles/soc_study.dir/soc_study.cpp.o.d"
+  "soc_study"
+  "soc_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

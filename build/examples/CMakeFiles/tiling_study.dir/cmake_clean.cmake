@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_study.dir/tiling_study.cpp.o"
+  "CMakeFiles/tiling_study.dir/tiling_study.cpp.o.d"
+  "tiling_study"
+  "tiling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

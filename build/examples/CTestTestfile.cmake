@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_layout_padding "/root/repo/build/examples/layout_padding")
+set_tests_properties(example_layout_padding PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_tiling_study "/root/repo/build/examples/tiling_study")
+set_tests_properties(example_tiling_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_soc_study "/root/repo/build/examples/soc_study")
+set_tests_properties(example_soc_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_kernels "/root/repo/build/examples/memx_cli" "kernels")
+set_tests_properties(example_cli_kernels PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_layout "/root/repo/build/examples/memx_cli" "layout" "compress" "--cache" "C64L8")
+set_tests_properties(example_cli_layout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_workingset "/root/repo/build/examples/memx_cli" "workingset" "sor")
+set_tests_properties(example_cli_workingset PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_spm "/root/repo/build/examples/memx_cli" "spm" "fir")
+set_tests_properties(example_cli_spm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_legality "/root/repo/build/examples/memx_cli" "legality" "sor")
+set_tests_properties(example_cli_legality PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_file_kernel "/root/repo/build/examples/memx_cli" "legality" "/root/repo/examples/kernels/compress.mx")
+set_tests_properties(example_cli_file_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_conv3 "/root/repo/build/examples/memx_cli" "legality" "/root/repo/examples/kernels/conv3.mx")
+set_tests_properties(example_cli_conv3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memx/cachesim/bus_monitor.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/bus_monitor.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/bus_monitor.cpp.o.d"
+  "/root/repo/src/memx/cachesim/cache_config.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/cache_config.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/cache_config.cpp.o.d"
+  "/root/repo/src/memx/cachesim/cache_sim.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/cache_sim.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/memx/cachesim/hierarchy.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/hierarchy.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/memx/cachesim/miss_classifier.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/miss_classifier.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/miss_classifier.cpp.o.d"
+  "/root/repo/src/memx/cachesim/prefetch.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/prefetch.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/prefetch.cpp.o.d"
+  "/root/repo/src/memx/cachesim/set_sampling.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/set_sampling.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/set_sampling.cpp.o.d"
+  "/root/repo/src/memx/cachesim/victim_cache.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/victim_cache.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/victim_cache.cpp.o.d"
+  "/root/repo/src/memx/cachesim/write_buffer.cpp" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/write_buffer.cpp.o" "gcc" "src/memx/cachesim/CMakeFiles/memx_cachesim.dir/write_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memx/trace/CMakeFiles/memx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/util/CMakeFiles/memx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

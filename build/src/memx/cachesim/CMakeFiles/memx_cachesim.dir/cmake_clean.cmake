@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_cachesim.dir/bus_monitor.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/bus_monitor.cpp.o.d"
+  "CMakeFiles/memx_cachesim.dir/cache_config.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/cache_config.cpp.o.d"
+  "CMakeFiles/memx_cachesim.dir/cache_sim.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/memx_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/memx_cachesim.dir/miss_classifier.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/miss_classifier.cpp.o.d"
+  "CMakeFiles/memx_cachesim.dir/prefetch.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/prefetch.cpp.o.d"
+  "CMakeFiles/memx_cachesim.dir/set_sampling.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/set_sampling.cpp.o.d"
+  "CMakeFiles/memx_cachesim.dir/victim_cache.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/victim_cache.cpp.o.d"
+  "CMakeFiles/memx_cachesim.dir/write_buffer.cpp.o"
+  "CMakeFiles/memx_cachesim.dir/write_buffer.cpp.o.d"
+  "libmemx_cachesim.a"
+  "libmemx_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

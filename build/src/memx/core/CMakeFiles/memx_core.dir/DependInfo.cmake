@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memx/core/analytic_model.cpp" "src/memx/core/CMakeFiles/memx_core.dir/analytic_model.cpp.o" "gcc" "src/memx/core/CMakeFiles/memx_core.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/memx/core/design_point.cpp" "src/memx/core/CMakeFiles/memx_core.dir/design_point.cpp.o" "gcc" "src/memx/core/CMakeFiles/memx_core.dir/design_point.cpp.o.d"
+  "/root/repo/src/memx/core/explorer.cpp" "src/memx/core/CMakeFiles/memx_core.dir/explorer.cpp.o" "gcc" "src/memx/core/CMakeFiles/memx_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/memx/core/hierarchy_explorer.cpp" "src/memx/core/CMakeFiles/memx_core.dir/hierarchy_explorer.cpp.o" "gcc" "src/memx/core/CMakeFiles/memx_core.dir/hierarchy_explorer.cpp.o.d"
+  "/root/repo/src/memx/core/parallel_explorer.cpp" "src/memx/core/CMakeFiles/memx_core.dir/parallel_explorer.cpp.o" "gcc" "src/memx/core/CMakeFiles/memx_core.dir/parallel_explorer.cpp.o.d"
+  "/root/repo/src/memx/core/selection.cpp" "src/memx/core/CMakeFiles/memx_core.dir/selection.cpp.o" "gcc" "src/memx/core/CMakeFiles/memx_core.dir/selection.cpp.o.d"
+  "/root/repo/src/memx/core/sensitivity.cpp" "src/memx/core/CMakeFiles/memx_core.dir/sensitivity.cpp.o" "gcc" "src/memx/core/CMakeFiles/memx_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/memx/core/trace_explorer.cpp" "src/memx/core/CMakeFiles/memx_core.dir/trace_explorer.cpp.o" "gcc" "src/memx/core/CMakeFiles/memx_core.dir/trace_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memx/loopir/CMakeFiles/memx_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/cachesim/CMakeFiles/memx_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/energy/CMakeFiles/memx_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/timing/CMakeFiles/memx_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/layout/CMakeFiles/memx_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/xform/CMakeFiles/memx_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/util/CMakeFiles/memx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/trace/CMakeFiles/memx_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

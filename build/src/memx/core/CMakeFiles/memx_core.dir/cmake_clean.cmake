@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_core.dir/analytic_model.cpp.o"
+  "CMakeFiles/memx_core.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/memx_core.dir/design_point.cpp.o"
+  "CMakeFiles/memx_core.dir/design_point.cpp.o.d"
+  "CMakeFiles/memx_core.dir/explorer.cpp.o"
+  "CMakeFiles/memx_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/memx_core.dir/hierarchy_explorer.cpp.o"
+  "CMakeFiles/memx_core.dir/hierarchy_explorer.cpp.o.d"
+  "CMakeFiles/memx_core.dir/parallel_explorer.cpp.o"
+  "CMakeFiles/memx_core.dir/parallel_explorer.cpp.o.d"
+  "CMakeFiles/memx_core.dir/selection.cpp.o"
+  "CMakeFiles/memx_core.dir/selection.cpp.o.d"
+  "CMakeFiles/memx_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/memx_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/memx_core.dir/trace_explorer.cpp.o"
+  "CMakeFiles/memx_core.dir/trace_explorer.cpp.o.d"
+  "libmemx_core.a"
+  "libmemx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemx_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memx/energy/area_model.cpp" "src/memx/energy/CMakeFiles/memx_energy.dir/area_model.cpp.o" "gcc" "src/memx/energy/CMakeFiles/memx_energy.dir/area_model.cpp.o.d"
+  "/root/repo/src/memx/energy/dram_model.cpp" "src/memx/energy/CMakeFiles/memx_energy.dir/dram_model.cpp.o" "gcc" "src/memx/energy/CMakeFiles/memx_energy.dir/dram_model.cpp.o.d"
+  "/root/repo/src/memx/energy/energy_model.cpp" "src/memx/energy/CMakeFiles/memx_energy.dir/energy_model.cpp.o" "gcc" "src/memx/energy/CMakeFiles/memx_energy.dir/energy_model.cpp.o.d"
+  "/root/repo/src/memx/energy/sram_catalog.cpp" "src/memx/energy/CMakeFiles/memx_energy.dir/sram_catalog.cpp.o" "gcc" "src/memx/energy/CMakeFiles/memx_energy.dir/sram_catalog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memx/cachesim/CMakeFiles/memx_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/util/CMakeFiles/memx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/trace/CMakeFiles/memx_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_energy.dir/area_model.cpp.o"
+  "CMakeFiles/memx_energy.dir/area_model.cpp.o.d"
+  "CMakeFiles/memx_energy.dir/dram_model.cpp.o"
+  "CMakeFiles/memx_energy.dir/dram_model.cpp.o.d"
+  "CMakeFiles/memx_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/memx_energy.dir/energy_model.cpp.o.d"
+  "CMakeFiles/memx_energy.dir/sram_catalog.cpp.o"
+  "CMakeFiles/memx_energy.dir/sram_catalog.cpp.o.d"
+  "libmemx_energy.a"
+  "libmemx_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_icache.dir/ifetch_model.cpp.o"
+  "CMakeFiles/memx_icache.dir/ifetch_model.cpp.o.d"
+  "libmemx_icache.a"
+  "libmemx_icache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_icache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memx/kernels/benchmarks.cpp" "src/memx/kernels/CMakeFiles/memx_kernels.dir/benchmarks.cpp.o" "gcc" "src/memx/kernels/CMakeFiles/memx_kernels.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/memx/kernels/extra_kernels.cpp" "src/memx/kernels/CMakeFiles/memx_kernels.dir/extra_kernels.cpp.o" "gcc" "src/memx/kernels/CMakeFiles/memx_kernels.dir/extra_kernels.cpp.o.d"
+  "/root/repo/src/memx/kernels/mpeg_kernels.cpp" "src/memx/kernels/CMakeFiles/memx_kernels.dir/mpeg_kernels.cpp.o" "gcc" "src/memx/kernels/CMakeFiles/memx_kernels.dir/mpeg_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memx/loopir/CMakeFiles/memx_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/util/CMakeFiles/memx_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/trace/CMakeFiles/memx_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

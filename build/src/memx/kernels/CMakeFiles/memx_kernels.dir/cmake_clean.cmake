@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_kernels.dir/benchmarks.cpp.o"
+  "CMakeFiles/memx_kernels.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/memx_kernels.dir/extra_kernels.cpp.o"
+  "CMakeFiles/memx_kernels.dir/extra_kernels.cpp.o.d"
+  "CMakeFiles/memx_kernels.dir/mpeg_kernels.cpp.o"
+  "CMakeFiles/memx_kernels.dir/mpeg_kernels.cpp.o.d"
+  "libmemx_kernels.a"
+  "libmemx_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

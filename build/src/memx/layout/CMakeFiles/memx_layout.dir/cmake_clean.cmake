@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_layout.dir/offchip_assign.cpp.o"
+  "CMakeFiles/memx_layout.dir/offchip_assign.cpp.o.d"
+  "libmemx_layout.a"
+  "libmemx_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memx/loopir/affine.cpp" "src/memx/loopir/CMakeFiles/memx_loopir.dir/affine.cpp.o" "gcc" "src/memx/loopir/CMakeFiles/memx_loopir.dir/affine.cpp.o.d"
+  "/root/repo/src/memx/loopir/kernel.cpp" "src/memx/loopir/CMakeFiles/memx_loopir.dir/kernel.cpp.o" "gcc" "src/memx/loopir/CMakeFiles/memx_loopir.dir/kernel.cpp.o.d"
+  "/root/repo/src/memx/loopir/kernel_parser.cpp" "src/memx/loopir/CMakeFiles/memx_loopir.dir/kernel_parser.cpp.o" "gcc" "src/memx/loopir/CMakeFiles/memx_loopir.dir/kernel_parser.cpp.o.d"
+  "/root/repo/src/memx/loopir/loop_nest.cpp" "src/memx/loopir/CMakeFiles/memx_loopir.dir/loop_nest.cpp.o" "gcc" "src/memx/loopir/CMakeFiles/memx_loopir.dir/loop_nest.cpp.o.d"
+  "/root/repo/src/memx/loopir/memory_layout.cpp" "src/memx/loopir/CMakeFiles/memx_loopir.dir/memory_layout.cpp.o" "gcc" "src/memx/loopir/CMakeFiles/memx_loopir.dir/memory_layout.cpp.o.d"
+  "/root/repo/src/memx/loopir/ref_classes.cpp" "src/memx/loopir/CMakeFiles/memx_loopir.dir/ref_classes.cpp.o" "gcc" "src/memx/loopir/CMakeFiles/memx_loopir.dir/ref_classes.cpp.o.d"
+  "/root/repo/src/memx/loopir/trace_gen.cpp" "src/memx/loopir/CMakeFiles/memx_loopir.dir/trace_gen.cpp.o" "gcc" "src/memx/loopir/CMakeFiles/memx_loopir.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memx/trace/CMakeFiles/memx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/util/CMakeFiles/memx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_loopir.dir/affine.cpp.o"
+  "CMakeFiles/memx_loopir.dir/affine.cpp.o.d"
+  "CMakeFiles/memx_loopir.dir/kernel.cpp.o"
+  "CMakeFiles/memx_loopir.dir/kernel.cpp.o.d"
+  "CMakeFiles/memx_loopir.dir/kernel_parser.cpp.o"
+  "CMakeFiles/memx_loopir.dir/kernel_parser.cpp.o.d"
+  "CMakeFiles/memx_loopir.dir/loop_nest.cpp.o"
+  "CMakeFiles/memx_loopir.dir/loop_nest.cpp.o.d"
+  "CMakeFiles/memx_loopir.dir/memory_layout.cpp.o"
+  "CMakeFiles/memx_loopir.dir/memory_layout.cpp.o.d"
+  "CMakeFiles/memx_loopir.dir/ref_classes.cpp.o"
+  "CMakeFiles/memx_loopir.dir/ref_classes.cpp.o.d"
+  "CMakeFiles/memx_loopir.dir/trace_gen.cpp.o"
+  "CMakeFiles/memx_loopir.dir/trace_gen.cpp.o.d"
+  "libmemx_loopir.a"
+  "libmemx_loopir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_loopir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

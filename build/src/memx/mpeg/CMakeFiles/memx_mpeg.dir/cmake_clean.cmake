@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_mpeg.dir/chained.cpp.o"
+  "CMakeFiles/memx_mpeg.dir/chained.cpp.o.d"
+  "CMakeFiles/memx_mpeg.dir/composite.cpp.o"
+  "CMakeFiles/memx_mpeg.dir/composite.cpp.o.d"
+  "libmemx_mpeg.a"
+  "libmemx_mpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_mpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

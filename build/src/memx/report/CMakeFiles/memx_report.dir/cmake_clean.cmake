@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_report.dir/result_io.cpp.o"
+  "CMakeFiles/memx_report.dir/result_io.cpp.o.d"
+  "CMakeFiles/memx_report.dir/table.cpp.o"
+  "CMakeFiles/memx_report.dir/table.cpp.o.d"
+  "libmemx_report.a"
+  "libmemx_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

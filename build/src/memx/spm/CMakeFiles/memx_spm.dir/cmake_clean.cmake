@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_spm.dir/allocation.cpp.o"
+  "CMakeFiles/memx_spm.dir/allocation.cpp.o.d"
+  "CMakeFiles/memx_spm.dir/scratchpad.cpp.o"
+  "CMakeFiles/memx_spm.dir/scratchpad.cpp.o.d"
+  "CMakeFiles/memx_spm.dir/spm_explorer.cpp.o"
+  "CMakeFiles/memx_spm.dir/spm_explorer.cpp.o.d"
+  "libmemx_spm.a"
+  "libmemx_spm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_spm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

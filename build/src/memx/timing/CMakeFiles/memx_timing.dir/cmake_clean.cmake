@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_timing.dir/cycle_model.cpp.o"
+  "CMakeFiles/memx_timing.dir/cycle_model.cpp.o.d"
+  "libmemx_timing.a"
+  "libmemx_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memx/trace/din_io.cpp" "src/memx/trace/CMakeFiles/memx_trace.dir/din_io.cpp.o" "gcc" "src/memx/trace/CMakeFiles/memx_trace.dir/din_io.cpp.o.d"
+  "/root/repo/src/memx/trace/generators.cpp" "src/memx/trace/CMakeFiles/memx_trace.dir/generators.cpp.o" "gcc" "src/memx/trace/CMakeFiles/memx_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/memx/trace/trace.cpp" "src/memx/trace/CMakeFiles/memx_trace.dir/trace.cpp.o" "gcc" "src/memx/trace/CMakeFiles/memx_trace.dir/trace.cpp.o.d"
+  "/root/repo/src/memx/trace/trace_stats.cpp" "src/memx/trace/CMakeFiles/memx_trace.dir/trace_stats.cpp.o" "gcc" "src/memx/trace/CMakeFiles/memx_trace.dir/trace_stats.cpp.o.d"
+  "/root/repo/src/memx/trace/working_set.cpp" "src/memx/trace/CMakeFiles/memx_trace.dir/working_set.cpp.o" "gcc" "src/memx/trace/CMakeFiles/memx_trace.dir/working_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memx/util/CMakeFiles/memx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

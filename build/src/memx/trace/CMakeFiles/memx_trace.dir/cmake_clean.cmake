@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_trace.dir/din_io.cpp.o"
+  "CMakeFiles/memx_trace.dir/din_io.cpp.o.d"
+  "CMakeFiles/memx_trace.dir/generators.cpp.o"
+  "CMakeFiles/memx_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/memx_trace.dir/trace.cpp.o"
+  "CMakeFiles/memx_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/memx_trace.dir/trace_stats.cpp.o"
+  "CMakeFiles/memx_trace.dir/trace_stats.cpp.o.d"
+  "CMakeFiles/memx_trace.dir/working_set.cpp.o"
+  "CMakeFiles/memx_trace.dir/working_set.cpp.o.d"
+  "libmemx_trace.a"
+  "libmemx_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_util.dir/assert.cpp.o"
+  "CMakeFiles/memx_util.dir/assert.cpp.o.d"
+  "CMakeFiles/memx_util.dir/pow2_range.cpp.o"
+  "CMakeFiles/memx_util.dir/pow2_range.cpp.o.d"
+  "libmemx_util.a"
+  "libmemx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

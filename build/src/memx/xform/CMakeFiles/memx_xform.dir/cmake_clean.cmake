@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memx_xform.dir/dependence.cpp.o"
+  "CMakeFiles/memx_xform.dir/dependence.cpp.o.d"
+  "CMakeFiles/memx_xform.dir/fusion.cpp.o"
+  "CMakeFiles/memx_xform.dir/fusion.cpp.o.d"
+  "CMakeFiles/memx_xform.dir/tiling.cpp.o"
+  "CMakeFiles/memx_xform.dir/tiling.cpp.o.d"
+  "libmemx_xform.a"
+  "libmemx_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memx_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus_monitor.dir/bus_monitor_test.cpp.o"
+  "CMakeFiles/test_bus_monitor.dir/bus_monitor_test.cpp.o.d"
+  "test_bus_monitor"
+  "test_bus_monitor.pdb"
+  "test_bus_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

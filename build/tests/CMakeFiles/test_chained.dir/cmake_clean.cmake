@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chained.dir/chained_test.cpp.o"
+  "CMakeFiles/test_chained.dir/chained_test.cpp.o.d"
+  "test_chained"
+  "test_chained.pdb"
+  "test_chained[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dependence.dir/dependence_test.cpp.o"
+  "CMakeFiles/test_dependence.dir/dependence_test.cpp.o.d"
+  "test_dependence"
+  "test_dependence.pdb"
+  "test_dependence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_din_io.dir/din_io_test.cpp.o"
+  "CMakeFiles/test_din_io.dir/din_io_test.cpp.o.d"
+  "test_din_io"
+  "test_din_io.pdb"
+  "test_din_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_din_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extra_kernels_test.cpp" "tests/CMakeFiles/test_extra_kernels.dir/extra_kernels_test.cpp.o" "gcc" "tests/CMakeFiles/test_extra_kernels.dir/extra_kernels_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memx/icache/CMakeFiles/memx_icache.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/spm/CMakeFiles/memx_spm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/mpeg/CMakeFiles/memx_mpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/kernels/CMakeFiles/memx_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/report/CMakeFiles/memx_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/core/CMakeFiles/memx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/energy/CMakeFiles/memx_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/timing/CMakeFiles/memx_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/xform/CMakeFiles/memx_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/layout/CMakeFiles/memx_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/cachesim/CMakeFiles/memx_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/loopir/CMakeFiles/memx_loopir.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/trace/CMakeFiles/memx_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memx/util/CMakeFiles/memx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra_kernels.dir/extra_kernels_test.cpp.o"
+  "CMakeFiles/test_extra_kernels.dir/extra_kernels_test.cpp.o.d"
+  "test_extra_kernels"
+  "test_extra_kernels.pdb"
+  "test_extra_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierarchy_explorer.dir/hierarchy_explorer_test.cpp.o"
+  "CMakeFiles/test_hierarchy_explorer.dir/hierarchy_explorer_test.cpp.o.d"
+  "test_hierarchy_explorer"
+  "test_hierarchy_explorer.pdb"
+  "test_hierarchy_explorer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierarchy_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

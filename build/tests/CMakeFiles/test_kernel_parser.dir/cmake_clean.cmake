@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_parser.dir/kernel_parser_test.cpp.o"
+  "CMakeFiles/test_kernel_parser.dir/kernel_parser_test.cpp.o.d"
+  "test_kernel_parser"
+  "test_kernel_parser.pdb"
+  "test_kernel_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_loopir.dir/loopir_test.cpp.o"
+  "CMakeFiles/test_loopir.dir/loopir_test.cpp.o.d"
+  "test_loopir"
+  "test_loopir.pdb"
+  "test_loopir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_loopir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

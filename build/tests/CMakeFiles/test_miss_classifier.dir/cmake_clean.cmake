@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_miss_classifier.dir/miss_classifier_test.cpp.o"
+  "CMakeFiles/test_miss_classifier.dir/miss_classifier_test.cpp.o.d"
+  "test_miss_classifier"
+  "test_miss_classifier.pdb"
+  "test_miss_classifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_miss_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

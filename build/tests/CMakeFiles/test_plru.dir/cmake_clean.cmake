@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plru.dir/plru_test.cpp.o"
+  "CMakeFiles/test_plru.dir/plru_test.cpp.o.d"
+  "test_plru"
+  "test_plru.pdb"
+  "test_plru[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

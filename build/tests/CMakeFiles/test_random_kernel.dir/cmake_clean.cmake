@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_kernel.dir/random_kernel_test.cpp.o"
+  "CMakeFiles/test_random_kernel.dir/random_kernel_test.cpp.o.d"
+  "test_random_kernel"
+  "test_random_kernel.pdb"
+  "test_random_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ref_classes.dir/ref_classes_test.cpp.o"
+  "CMakeFiles/test_ref_classes.dir/ref_classes_test.cpp.o.d"
+  "test_ref_classes"
+  "test_ref_classes.pdb"
+  "test_ref_classes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ref_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

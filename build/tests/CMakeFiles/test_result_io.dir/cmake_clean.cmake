@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_result_io.dir/result_io_test.cpp.o"
+  "CMakeFiles/test_result_io.dir/result_io_test.cpp.o.d"
+  "test_result_io"
+  "test_result_io.pdb"
+  "test_result_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_result_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_sampling.dir/set_sampling_test.cpp.o"
+  "CMakeFiles/test_set_sampling.dir/set_sampling_test.cpp.o.d"
+  "test_set_sampling"
+  "test_set_sampling.pdb"
+  "test_set_sampling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

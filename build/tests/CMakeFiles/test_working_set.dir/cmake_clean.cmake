@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_working_set.dir/working_set_test.cpp.o"
+  "CMakeFiles/test_working_set.dir/working_set_test.cpp.o.d"
+  "test_working_set"
+  "test_working_set.pdb"
+  "test_working_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_working_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
