@@ -1,0 +1,142 @@
+// Sweep-engine speed check: the full Compress sweep on the reference
+// per-point path (Explorer::evaluate per sweep key, regenerating the
+// trace every time) versus the shared-trace one-pass engine (explore()
+// and exploreParallel()). Asserts all three produce bit-identical
+// DesignPoint vectors, then writes BENCH_sweep.json with points/sec of
+// each path and the speedup. Exits nonzero on any mismatch.
+//
+// This is a plain main (no google-benchmark): the determinism check is
+// the point, and each path is simply timed best-of-kReps (every rep does
+// the same cold-trace work) to shrug off scheduler noise.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "memx/core/parallel_explorer.hpp"
+
+namespace {
+
+using memx::ConfigKey;
+using memx::DesignPoint;
+using memx::ExplorationResult;
+using memx::Explorer;
+using memx::Kernel;
+
+double seconds(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Bit-exact comparison: the shared-trace engine must not perturb a
+/// single ULP relative to per-point evaluation.
+bool identical(const std::vector<DesignPoint>& a,
+               const std::vector<DesignPoint>& b, const char* label) {
+  if (a.size() != b.size()) {
+    std::cerr << "MISMATCH (" << label << "): " << a.size() << " vs "
+              << b.size() << " points\n";
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const DesignPoint& x = a[i];
+    const DesignPoint& y = b[i];
+    const bool same =
+        x.key == y.key && x.accesses == y.accesses &&
+        x.missRate == y.missRate && x.cycles == y.cycles &&
+        x.energyNj == y.energyNj;
+    if (!same) {
+      std::cerr << "MISMATCH (" << label << ") at point " << i << " "
+                << x.key.label() << '\n';
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const Kernel kernel = memx::compressKernel();
+  const Explorer grid(memx::bench::paperOptions());
+  const std::vector<ConfigKey> keys = grid.sweepKeys();
+
+  memx::bench::section("Sweep-engine speed (" + kernel.name + ", " +
+                       std::to_string(keys.size()) + " points)");
+
+  // Pre-warm the layout memo (untimed): the Section-4.1 conflict-free
+  // assignment is computed and memoized identically by every path and is
+  // untouched by the sweep engine, so the timings below isolate what the
+  // engine changed — trace generation and cache simulation.
+  (void)grid.planSweep(kernel, keys);
+
+  constexpr int kReps = 3;
+
+  // Reference path: one evaluate() per key, trace regenerated per point.
+  double baseSec = 1e30;
+  std::vector<DesignPoint> baseline;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<DesignPoint> pts;
+    pts.reserve(keys.size());
+    for (const ConfigKey& key : keys) {
+      pts.push_back(grid.evaluate(kernel, grid.configFor(key), key.tiling));
+    }
+    baseSec = std::min(baseSec, seconds(t0, std::chrono::steady_clock::now()));
+    baseline = std::move(pts);
+  }
+
+  // Shared-trace one-pass engine, serial and parallel. Each serial rep
+  // runs on a pristine copy of `grid` (warm layouts, empty trace cache)
+  // so every rep generates the group traces from scratch, like the
+  // baseline regenerates its per-point traces.
+  double sharedSec = 1e30;
+  std::vector<DesignPoint> sharedPts;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Explorer fresh = grid;
+    const auto t0 = std::chrono::steady_clock::now();
+    ExplorationResult r = fresh.explore(kernel);
+    sharedSec =
+        std::min(sharedSec, seconds(t0, std::chrono::steady_clock::now()));
+    sharedPts = std::move(r.points);
+  }
+
+  double parSec = 1e30;
+  std::vector<DesignPoint> parPts;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ExplorationResult r = memx::exploreParallel(grid, kernel);
+    parSec = std::min(parSec, seconds(t0, std::chrono::steady_clock::now()));
+    parPts = std::move(r.points);
+  }
+
+  const bool ok = identical(baseline, sharedPts, "explore") &&
+                  identical(baseline, parPts, "exploreParallel");
+  const double n = static_cast<double>(keys.size());
+  const double speedup = baseSec / sharedSec;
+
+  std::printf("per-point baseline : %8.3f s  (%9.1f points/s)\n", baseSec,
+              n / baseSec);
+  std::printf("shared-trace serial: %8.3f s  (%9.1f points/s)  %.2fx\n",
+              sharedSec, n / sharedSec, speedup);
+  std::printf("shared-trace para. : %8.3f s  (%9.1f points/s)  %.2fx\n",
+              parSec, n / parSec, baseSec / parSec);
+  std::printf("bit-identical      : %s\n", ok ? "yes" : "NO");
+
+  std::ofstream json("BENCH_sweep.json");
+  json << "{\"workload\": \"" << kernel.name << "\", \"points\": "
+       << keys.size() << ", \"per_point_seconds\": " << baseSec
+       << ", \"shared_seconds\": " << sharedSec
+       << ", \"parallel_seconds\": " << parSec
+       << ", \"per_point_points_per_sec\": " << n / baseSec
+       << ", \"shared_points_per_sec\": " << n / sharedSec
+       << ", \"parallel_points_per_sec\": " << n / parSec
+       << ", \"speedup\": " << speedup << ", \"identical\": "
+       << (ok ? "true" : "false") << "}\n";
+
+  return ok ? 0 : 1;
+}

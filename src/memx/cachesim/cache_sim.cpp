@@ -10,13 +10,21 @@ namespace memx {
 CacheSim::CacheSim(const CacheConfig& config, std::uint64_t rngSeed)
     : config_(config), rng_(rngSeed) {
   config_.validate();
+  lineShift_ = log2Exact(config_.lineBytes);
+  setShift_ = log2Exact(config_.numSets());
+  setMask_ = config_.numSets() - 1;
   lines_.resize(static_cast<std::size_t>(config_.numSets()) *
                 config_.associativity);
   plruBits_.assign(config_.numSets(), 0);
 }
 
 void CacheSim::plruTouch(std::uint32_t setIndex, std::size_t way) {
-  if (config_.associativity < 2) return;
+  // The tree is only consulted by plruVictim, so policies other than
+  // TreePLRU need not maintain it.
+  if (config_.replacement != ReplacementPolicy::TreePLRU ||
+      config_.associativity < 2) {
+    return;
+  }
   std::uint32_t& bits = plruBits_[setIndex];
   std::size_t node = 0;
   std::size_t lo = 0;
@@ -55,12 +63,11 @@ std::size_t CacheSim::plruVictim(std::uint32_t setIndex) const {
 }
 
 std::uint32_t CacheSim::setIndexOf(std::uint64_t addr) const noexcept {
-  return static_cast<std::uint32_t>((addr / config_.lineBytes) %
-                                    config_.numSets());
+  return static_cast<std::uint32_t>((addr >> lineShift_) & setMask_);
 }
 
 std::uint64_t CacheSim::tagOf(std::uint64_t addr) const noexcept {
-  return addr / config_.lineBytes / config_.numSets();
+  return addr >> lineShift_ >> setShift_;
 }
 
 bool CacheSim::contains(std::uint64_t addr) const {
@@ -84,41 +91,89 @@ std::size_t CacheSim::validLineCount() const {
 std::size_t CacheSim::victimWay(std::uint32_t setIndex) {
   const std::size_t base =
       static_cast<std::size_t>(setIndex) * config_.associativity;
-  // Prefer an invalid way.
-  for (std::size_t w = 0; w < config_.associativity; ++w) {
-    if (!lines_[base + w].valid) return w;
-  }
   switch (config_.replacement) {
-    case ReplacementPolicy::LRU: {
-      std::size_t best = 0;
-      for (std::size_t w = 1; w < config_.associativity; ++w) {
-        if (lines_[base + w].lastUse < lines_[base + best].lastUse) best = w;
-      }
-      return best;
-    }
+    case ReplacementPolicy::LRU:
     case ReplacementPolicy::FIFO: {
+      // One scan serves both: prefer the first invalid way, else the
+      // oldest stamp (last use for LRU, fill time for FIFO).
       std::size_t best = 0;
-      for (std::size_t w = 1; w < config_.associativity; ++w) {
-        if (lines_[base + w].filledAt < lines_[base + best].filledAt)
+      std::uint64_t bestStamp = ~std::uint64_t{0};
+      for (std::size_t w = 0; w < config_.associativity; ++w) {
+        const Line& line = lines_[base + w];
+        if (!line.valid) return w;
+        if (line.stamp < bestStamp) {
+          bestStamp = line.stamp;
           best = w;
+        }
       }
       return best;
     }
     case ReplacementPolicy::Random: {
+      for (std::size_t w = 0; w < config_.associativity; ++w) {
+        if (!lines_[base + w].valid) return w;
+      }
       std::uniform_int_distribution<std::size_t> dist(
           0, config_.associativity - 1);
       return dist(rng_);
     }
-    case ReplacementPolicy::TreePLRU:
+    case ReplacementPolicy::TreePLRU: {
+      for (std::size_t w = 0; w < config_.associativity; ++w) {
+        if (!lines_[base + w].valid) return w;
+      }
       return plruVictim(setIndex);
+    }
   }
   return 0;
 }
 
-bool CacheSim::probeLine(std::uint64_t lineAddr, AccessType type,
-                         AccessOutcome& outcome) {
-  const std::uint32_t set = setIndexOf(lineAddr);
-  const std::uint64_t tag = tagOf(lineAddr);
+bool CacheSim::probeLineIndex(std::uint64_t lineIndex, AccessType type,
+                              AccessOutcome* outcome) {
+  const std::uint32_t set = static_cast<std::uint32_t>(lineIndex & setMask_);
+  const std::uint64_t tag = lineIndex >> setShift_;
+
+  if (config_.associativity == 1) {
+    // Direct-mapped: way 0 of the set is the only candidate, every
+    // replacement policy degenerates to it, and the stamp/clock are
+    // never read. Same statistics as the set-associative path below.
+    Line& line = lines_[set];
+    if (line.valid && line.tag == tag) {
+      if (type == AccessType::Write) {
+        if (config_.writePolicy == WritePolicy::WriteBack) {
+          line.dirty = true;
+        } else {
+          ++stats_.memWrites;
+        }
+      }
+      return true;
+    }
+    if (!isReadLike(type) &&
+        config_.allocatePolicy != AllocatePolicy::WriteAllocate) {
+      ++stats_.memWrites;
+      return false;
+    }
+    if (line.valid && line.dirty) {
+      ++stats_.writebacks;
+      if (outcome != nullptr) {
+        ++outcome->writebacks;
+        outcome->evictedDirtyLines.push_back(
+            ((line.tag << setShift_) | set) << lineShift_);
+      }
+    }
+    line.valid = true;
+    line.tag = tag;
+    line.dirty = false;
+    ++stats_.lineFills;
+    if (outcome != nullptr) ++outcome->fills;
+    if (type == AccessType::Write) {
+      if (config_.writePolicy == WritePolicy::WriteBack) {
+        line.dirty = true;
+      } else {
+        ++stats_.memWrites;
+      }
+    }
+    return false;
+  }
+
   const std::size_t base =
       static_cast<std::size_t>(set) * config_.associativity;
   ++clock_;
@@ -126,7 +181,7 @@ bool CacheSim::probeLine(std::uint64_t lineAddr, AccessType type,
   for (std::size_t w = 0; w < config_.associativity; ++w) {
     Line& line = lines_[base + w];
     if (line.valid && line.tag == tag) {
-      line.lastUse = clock_;
+      if (config_.replacement == ReplacementPolicy::LRU) line.stamp = clock_;
       plruTouch(set, w);
       if (type == AccessType::Write) {
         if (config_.writePolicy == WritePolicy::WriteBack) {
@@ -140,7 +195,7 @@ bool CacheSim::probeLine(std::uint64_t lineAddr, AccessType type,
   }
 
   // Miss.
-  const bool allocate = type == AccessType::Read ||
+  const bool allocate = isReadLike(type) ||
                         config_.allocatePolicy == AllocatePolicy::WriteAllocate;
   if (!allocate) {
     ++stats_.memWrites;  // write straight around the cache
@@ -151,19 +206,20 @@ bool CacheSim::probeLine(std::uint64_t lineAddr, AccessType type,
   Line& victim = lines_[base + w];
   if (victim.valid && victim.dirty) {
     ++stats_.writebacks;
-    ++outcome.writebacks;
-    // Reconstruct the victim's byte address from tag and set index.
-    outcome.evictedDirtyLines.push_back(
-        (victim.tag * config_.numSets() + set) * config_.lineBytes);
+    if (outcome != nullptr) {
+      ++outcome->writebacks;
+      // Reconstruct the victim's byte address from tag and set index.
+      outcome->evictedDirtyLines.push_back(
+          ((victim.tag << setShift_) | set) << lineShift_);
+    }
   }
   victim.valid = true;
   victim.tag = tag;
-  victim.lastUse = clock_;
-  victim.filledAt = clock_;
+  victim.stamp = clock_;
   victim.dirty = false;
   plruTouch(set, w);
   ++stats_.lineFills;
-  ++outcome.fills;
+  if (outcome != nullptr) ++outcome->fills;
   if (type == AccessType::Write) {
     if (config_.writePolicy == WritePolicy::WriteBack) {
       victim.dirty = true;
@@ -176,28 +232,79 @@ bool CacheSim::probeLine(std::uint64_t lineAddr, AccessType type,
 
 AccessOutcome CacheSim::access(const MemRef& ref) {
   MEMX_EXPECTS(ref.size > 0, "access size must be positive");
+  return accessLines(ref.addr >> lineShift_,
+                     (ref.addr + ref.size - 1) >> lineShift_, ref.type);
+}
+
+AccessOutcome CacheSim::accessLines(std::uint64_t firstLine,
+                                    std::uint64_t lastLine,
+                                    AccessType type) {
   AccessOutcome outcome;
-  const std::uint64_t firstLine = ref.addr / config_.lineBytes;
-  const std::uint64_t lastLine =
-      (ref.addr + ref.size - 1) / config_.lineBytes;
   bool allHit = true;
   for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
-    allHit &= probeLine(line * config_.lineBytes, ref.type, outcome);
+    allHit &= probeLineIndex(line, type, &outcome);
   }
   outcome.hit = allHit;
+  countAccess(allHit, type);
+  return outcome;
+}
 
-  if (ref.type == AccessType::Read) {
+bool CacheSim::accessLinesFast(std::uint64_t firstLine,
+                               std::uint64_t lastLine, AccessType type) {
+  bool allHit = true;
+  for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
+    allHit &= probeLineIndex(line, type, nullptr);
+  }
+  countAccess(allHit, type);
+  return allHit;
+}
+
+void CacheSim::countAccess(bool allHit, AccessType type) {
+  if (isReadLike(type)) {
     ++stats_.reads;
     allHit ? ++stats_.readHits : ++stats_.readMisses;
   } else {
     ++stats_.writes;
     allHit ? ++stats_.writeHits : ++stats_.writeMisses;
   }
-  return outcome;
+}
+
+void CacheSim::replaySpans(const LineSpan* spans, std::size_t count) {
+  // Accumulate the per-access counters in locals and flush once: the
+  // counts are identical to calling accessLinesFast per span, without
+  // read-modify-writing six statistics fields on every access.
+  std::uint64_t reads = 0;
+  std::uint64_t readHits = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t writeHits = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    bool allHit = true;
+    for (std::uint64_t line = spans[i].first; line <= spans[i].last;
+         ++line) {
+      allHit &= probeLineIndex(line, spans[i].type, nullptr);
+    }
+    if (isReadLike(spans[i].type)) {
+      ++reads;
+      readHits += allHit ? 1 : 0;
+    } else {
+      ++writes;
+      writeHits += allHit ? 1 : 0;
+    }
+  }
+  stats_.reads += reads;
+  stats_.readHits += readHits;
+  stats_.readMisses += reads - readHits;
+  stats_.writes += writes;
+  stats_.writeHits += writeHits;
+  stats_.writeMisses += writes - writeHits;
 }
 
 void CacheSim::run(const Trace& trace) {
-  for (const MemRef& ref : trace) access(ref);
+  for (const MemRef& ref : trace) {
+    MEMX_EXPECTS(ref.size > 0, "access size must be positive");
+    accessLinesFast(ref.addr >> lineShift_,
+                    (ref.addr + ref.size - 1) >> lineShift_, ref.type);
+  }
 }
 
 void CacheSim::reset() {

@@ -26,6 +26,15 @@ struct AccessOutcome {
   std::vector<std::uint64_t> evictedDirtyLines;
 };
 
+/// A reference pre-decomposed into its line span under some line size
+/// (first/last are line indices). Lets one decomposition of a trace be
+/// replayed against every cache sharing that line size.
+struct LineSpan {
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  AccessType type = AccessType::Read;
+};
+
 /// A single-level data cache.
 ///
 /// Accesses wider than a line, or straddling a line boundary, are split
@@ -37,6 +46,25 @@ public:
 
   /// Present one reference; updates state and statistics.
   AccessOutcome access(const MemRef& ref);
+
+  /// Present one reference whose line span has already been computed
+  /// (firstLine/lastLine are line indices, i.e. addr / lineBytes). This
+  /// is the hook MultiCacheSim uses to decompose an access once per
+  /// distinct line size and share the result across a config bank.
+  AccessOutcome accessLines(std::uint64_t firstLine, std::uint64_t lastLine,
+                            AccessType type);
+
+  /// Statistics-only variant of accessLines: identical state and counter
+  /// updates, but skips assembling the per-access AccessOutcome (whose
+  /// evicted-line list only matters to multi-level consumers). The sweep
+  /// hot paths use this. Returns true when the whole access hit.
+  bool accessLinesFast(std::uint64_t firstLine, std::uint64_t lastLine,
+                       AccessType type);
+
+  /// Present a whole pre-decomposed trace, statistics-only. Equivalent to
+  /// calling accessLinesFast once per span, in order; a single bulk call
+  /// so the per-span probe inlines into one tight loop.
+  void replaySpans(const LineSpan* spans, std::size_t count);
 
   /// Run a whole trace through the cache.
   void run(const Trace& trace);
@@ -63,15 +91,23 @@ public:
 private:
   struct Line {
     std::uint64_t tag = 0;
-    std::uint64_t lastUse = 0;   ///< LRU stamp
-    std::uint64_t filledAt = 0;  ///< FIFO stamp
+    /// Replacement stamp. LRU reads it as last-use time (refreshed on
+    /// every touch); FIFO reads it as fill time (written only on fill);
+    /// Random and TreePLRU never read it. One field serves both, which
+    /// keeps the line small — the set scan is the simulator's hot loop.
+    std::uint64_t stamp = 0;
     bool valid = false;
     bool dirty = false;
   };
 
-  /// Probe one line-sized piece of an access. Returns true on hit.
-  bool probeLine(std::uint64_t lineAddr, AccessType type,
-                 AccessOutcome& outcome);
+  /// Probe one line-sized piece of an access, keyed by line index
+  /// (addr >> lineShift_). Returns true on hit. `outcome` may be null to
+  /// skip per-access outcome bookkeeping (statistics and cache state
+  /// update identically either way).
+  bool probeLineIndex(std::uint64_t lineIndex, AccessType type,
+                      AccessOutcome* outcome);
+  /// Shared tail of accessLines/accessLinesFast: per-access counters.
+  void countAccess(bool allHit, AccessType type);
   [[nodiscard]] std::size_t victimWay(std::uint32_t setIndex);
 
   /// Point the set's PLRU tree away from the just-touched way.
@@ -80,6 +116,11 @@ private:
   [[nodiscard]] std::size_t plruVictim(std::uint32_t setIndex) const;
 
   CacheConfig config_;
+  // Geometry is all powers of two (validated), so the address splits
+  // reduce to shifts and masks precomputed here.
+  unsigned lineShift_ = 0;   ///< log2(lineBytes)
+  unsigned setShift_ = 0;    ///< log2(numSets)
+  std::uint64_t setMask_ = 0;  ///< numSets - 1
   std::vector<Line> lines_;  ///< numSets * associativity, set-major
   std::vector<std::uint32_t> plruBits_;  ///< one tree per set
   std::uint64_t clock_ = 0;

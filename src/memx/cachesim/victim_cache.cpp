@@ -23,7 +23,7 @@ void VictimCache::probeLine(std::uint64_t lineAddr, AccessType type) {
       static_cast<std::uint32_t>(lineIndex % config_.numLines());
   const std::uint64_t tag = lineIndex / config_.numLines();
 
-  const bool isRead = type == AccessType::Read;
+  const bool isRead = isReadLike(type);
   isRead ? ++stats_.main.reads : ++stats_.main.writes;
 
   MainLine& line = lines_[set];

@@ -1,9 +1,11 @@
 #include "memx/core/explorer.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "memx/cachesim/bus_monitor.hpp"
 #include "memx/cachesim/cache_sim.hpp"
+#include "memx/cachesim/multi_sim.hpp"
 #include "memx/layout/offchip_assign.hpp"
 #include "memx/loopir/trace_gen.hpp"
 #include "memx/util/assert.hpp"
@@ -34,10 +36,22 @@ const DesignPoint& ExplorationResult::at(const ConfigKey& key) const {
 
 const DesignPoint* ExplorationResult::find(
     const ConfigKey& key) const noexcept {
-  const auto it =
-      std::find_if(points.begin(), points.end(),
-                   [&](const DesignPoint& p) { return p.key == key; });
-  return it == points.end() ? nullptr : &*it;
+  if (index_.size() != points.size()) rebuildIndex();
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const std::pair<ConfigKey, std::size_t>& entry,
+         const ConfigKey& k) { return entry.first < k; });
+  if (it == index_.end() || it->first != key) return nullptr;
+  return &points[it->second];
+}
+
+void ExplorationResult::rebuildIndex() const {
+  index_.clear();
+  index_.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    index_.emplace_back(points[i].key, i);
+  }
+  std::sort(index_.begin(), index_.end());
 }
 
 Explorer::Explorer(ExploreOptions options)
@@ -59,6 +73,39 @@ const MemoryLayout& Explorer::layoutFor(const Kernel& kernel,
           ? assignConflictFree(kernel, cache, 0, tiledProbe).layout
           : sequentialLayout(kernel);
   return layoutCache_.emplace(key, std::move(layout)).first->second;
+}
+
+CacheConfig Explorer::configFor(const ConfigKey& key) const {
+  CacheConfig config;
+  config.sizeBytes = key.cacheBytes;
+  config.lineBytes = key.lineBytes;
+  config.associativity = key.associativity;
+  config.writePolicy = options_.writePolicy;
+  config.replacement = options_.replacement;
+  return config;
+}
+
+double Explorer::addrActivityFor(const Trace& trace) const {
+  return options_.measureBusActivity ? measureAddrActivity(trace)
+                                     : kDefaultAddrSwitchesPerAccess;
+}
+
+DesignPoint Explorer::makePoint(const CacheConfig& config,
+                                std::uint32_t tiling,
+                                const CacheStats& stats,
+                                double addBs) const {
+  const CacheEnergyModel energyModel(config, options_.energy, addBs);
+  DesignPoint point;
+  point.key = ConfigKey{config.sizeBytes, config.lineBytes,
+                        config.associativity, tiling};
+  point.accesses = stats.accesses();
+  point.missRate = stats.missRate();
+  point.cycles = cycleModel_.cycles(stats, config, tiling);
+  point.energyNj = options_.includeWriteEnergy
+                       ? energyModel.totalIncludingWritesNj(stats)
+                       : energyModel.totalNj(stats);
+  point.energyNj += energyModel.leakageNj(point.cycles);
+  return point;
 }
 
 DesignPoint Explorer::evaluate(const Kernel& kernel,
@@ -85,22 +132,7 @@ DesignPoint Explorer::evaluate(const Kernel& kernel,
       tiled ? generateTrace(*tiled, layout) : generateTrace(kernel, layout);
 
   const CacheStats stats = simulateTrace(config, trace);
-  const double addBs = options_.measureBusActivity
-                           ? measureAddrActivity(trace)
-                           : kDefaultAddrSwitchesPerAccess;
-  const CacheEnergyModel energyModel(config, options_.energy, addBs);
-
-  DesignPoint point;
-  point.key = ConfigKey{config.sizeBytes, config.lineBytes,
-                        config.associativity, tiling};
-  point.accesses = stats.accesses();
-  point.missRate = stats.missRate();
-  point.cycles = cycleModel_.cycles(stats, config, tiling);
-  point.energyNj = options_.includeWriteEnergy
-                       ? energyModel.totalIncludingWritesNj(stats)
-                       : energyModel.totalNj(stats);
-  point.energyNj += energyModel.leakageNj(point.cycles);
-  return point;
+  return makePoint(config, tiling, stats, addrActivityFor(trace));
 }
 
 std::vector<ConfigKey> Explorer::sweepKeys() const {
@@ -133,17 +165,119 @@ std::vector<ConfigKey> Explorer::sweepKeys() const {
   return keys;
 }
 
+SweepPlan Explorer::planSweep(const Kernel& kernel,
+                              std::vector<ConfigKey> keys) const {
+  SweepPlan plan;
+  plan.keys = std::move(keys);
+  // Tiled variants used only to certify layouts; the trace-generating
+  // tiling happens later, once per pattern.
+  std::map<std::uint32_t, Kernel> tiledProbes;
+  std::map<std::string, std::size_t> groupIndex;
+  for (std::size_t i = 0; i < plan.keys.size(); ++i) {
+    const ConfigKey& key = plan.keys[i];
+    MEMX_EXPECTS(key.tiling >= 1, "tiling size must be at least 1");
+    const CacheConfig config = configFor(key);
+    config.validate();
+
+    const bool tileable = key.tiling > 1 && kernel.nest.depth() >= 2;
+    const Kernel* probe = nullptr;
+    if (tileable) {
+      auto it = tiledProbes.find(key.tiling);
+      if (it == tiledProbes.end()) {
+        it = tiledProbes.emplace(key.tiling, tile2D(kernel, key.tiling))
+                 .first;
+      }
+      probe = &it->second;
+    }
+    const MemoryLayout& layout = layoutFor(kernel, config, probe, key.tiling);
+
+    // Keys whose traversal is untiled (B = 1, or a nest too shallow to
+    // tile) share one pattern regardless of the B they carry.
+    const std::uint32_t traceTiling = tileable ? key.tiling : 1;
+    const std::string traceKey = kernel.name + "|B" +
+                                 std::to_string(traceTiling) + '|' +
+                                 layout.signature();
+    const auto [it, inserted] =
+        groupIndex.try_emplace(traceKey, plan.groups.size());
+    if (inserted) {
+      plan.groups.push_back(
+          SweepPlan::Group{traceTiling, traceKey, &layout, {}});
+    }
+    plan.groups[it->second].keyIndices.push_back(i);
+  }
+  return plan;
+}
+
+Trace Explorer::buildGroupTrace(const Kernel& kernel,
+                                const SweepPlan::Group& group,
+                                PatternCache& patterns) const {
+  auto it = patterns.find(group.traceTiling);
+  if (it == patterns.end()) {
+    AccessPattern pattern =
+        group.traceTiling > 1
+            ? generateAccessPattern(tile2D(kernel, group.traceTiling))
+            : generateAccessPattern(kernel);
+    it = patterns.emplace(group.traceTiling, std::move(pattern)).first;
+  }
+  return materializeTrace(it->second, *group.layout);
+}
+
+void Explorer::evaluateGroup(const SweepPlan::Group& group,
+                             const Trace& trace, double addrActivity,
+                             const std::vector<ConfigKey>& keys,
+                             std::vector<DesignPoint>& out) const {
+  std::vector<CacheConfig> configs;
+  configs.reserve(group.keyIndices.size());
+  for (const std::size_t idx : group.keyIndices) {
+    configs.push_back(configFor(keys[idx]));
+  }
+  MultiCacheSim bank(configs);
+  bank.run(trace);
+  for (std::size_t j = 0; j < group.keyIndices.size(); ++j) {
+    const std::size_t idx = group.keyIndices[j];
+    out[idx] =
+        makePoint(configs[j], keys[idx].tiling, bank.stats(j), addrActivity);
+  }
+}
+
+const Explorer::TraceEntry& Explorer::traceFor(
+    const Kernel& kernel, const SweepPlan::Group& group,
+    PatternCache& patterns) const {
+  auto it = traceCache_.find(group.traceKey);
+  if (it == traceCache_.end()) {
+    TraceEntry entry;
+    entry.trace = buildGroupTrace(kernel, group, patterns);
+    entry.addrActivity = addrActivityFor(entry.trace);
+    it = traceCache_.emplace(group.traceKey, std::move(entry)).first;
+  }
+  return it->second;
+}
+
 ExplorationResult Explorer::explore(const Kernel& kernel) const {
+  const SweepPlan plan = planSweep(kernel, sweepKeys());
   ExplorationResult result;
   result.workload = kernel.name;
-  for (const ConfigKey& key : sweepKeys()) {
-    CacheConfig cache;
-    cache.sizeBytes = key.cacheBytes;
-    cache.lineBytes = key.lineBytes;
-    cache.associativity = key.associativity;
-    result.points.push_back(evaluate(kernel, cache, key.tiling));
+  result.points.resize(plan.keys.size());
+  PatternCache patterns;
+  for (const SweepPlan::Group& group : plan.groups) {
+    const TraceEntry& entry = traceFor(kernel, group, patterns);
+    evaluateGroup(group, entry.trace, entry.addrActivity, plan.keys,
+                  result.points);
   }
   return result;
+}
+
+void Explorer::clearCaches() noexcept {
+  layoutCache_.clear();
+  traceCache_.clear();
+}
+
+std::size_t Explorer::traceCacheBytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& [key, entry] : traceCache_) {
+    bytes += key.size() + entry.trace.size() * sizeof(MemRef);
+  }
+  return bytes;
 }
 
 }  // namespace memx

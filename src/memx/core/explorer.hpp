@@ -11,6 +11,14 @@
 // Every point is evaluated by trace-driven simulation of the (optionally
 // tiled) kernel under the chosen off-chip layout, then run through the
 // paper's cycle and energy models.
+//
+// The sweep hot path is trace-reusing and one-pass: the reference trace
+// of a design point depends only on the tiling B and the memory layout,
+// so explore() groups the (T, L, S, B) grid by (B, layout signature),
+// generates each distinct trace once (cached in a TraceCache keyed like
+// the layout memo), and evaluates every configuration of a group against
+// the shared immutable trace in a single pass through a MultiCacheSim
+// bank. Results are bit-identical to evaluating each point in isolation.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +27,14 @@
 #include <string>
 #include <vector>
 
+#include "memx/cachesim/cache_stats.hpp"
 #include "memx/core/design_point.hpp"
 #include "memx/energy/energy_model.hpp"
 #include "memx/loopir/kernel.hpp"
 #include "memx/loopir/memory_layout.hpp"
+#include "memx/loopir/trace_gen.hpp"
 #include "memx/timing/cycle_model.hpp"
+#include "memx/trace/trace.hpp"
 
 namespace memx {
 
@@ -67,25 +78,98 @@ struct ExplorationResult {
 
   /// Point with the given key; throws when the sweep did not visit it.
   [[nodiscard]] const DesignPoint& at(const ConfigKey& key) const;
-  /// Point with the given key, if visited.
+  /// Point with the given key, if visited. Backed by a lazily built
+  /// sorted index (rebuilt whenever `points` changed size), so repeated
+  /// lookups over a full sweep are O(log n) instead of a linear scan.
+  /// Mutating a point's key in place without changing the vector's size
+  /// leaves the index stale; append/remove to trigger a rebuild.
   [[nodiscard]] const DesignPoint* find(const ConfigKey& key) const noexcept;
+
+private:
+  void rebuildIndex() const;
+
+  /// (key, position) pairs sorted lexicographically; duplicate keys keep
+  /// their points order so find() returns the first occurrence.
+  mutable std::vector<std::pair<ConfigKey, std::size_t>> index_;
+};
+
+/// A sweep restructured for shared-trace evaluation: the key grid plus
+/// its partition into trace groups. All keys of one group share a tiling
+/// and a memory layout, hence one reference trace. Group layout pointers
+/// alias the owning Explorer's layout memo: a plan stays valid until
+/// that Explorer is destroyed or clearCaches() is called.
+struct SweepPlan {
+  struct Group {
+    /// Tiling applied to the loop nest for this group's trace (1 when
+    /// the kernel is too shallow to tile, whatever B the keys carry).
+    std::uint32_t traceTiling = 1;
+    /// Kernel + tiling + layout-signature key of the shared trace.
+    std::string traceKey;
+    const MemoryLayout* layout = nullptr;
+    std::vector<std::size_t> keyIndices;  ///< indices into `keys`
+  };
+
+  std::vector<ConfigKey> keys;
+  std::vector<Group> groups;
 };
 
 /// Drives the sweep and evaluates individual design points.
 class Explorer {
 public:
+  /// Layout-independent access patterns memoized per trace tiling.
+  /// Thread-confined: the parallel explorer gives each worker its own.
+  using PatternCache = std::map<std::uint32_t, AccessPattern>;
+
   explicit Explorer(ExploreOptions options = {});
 
-  /// Evaluate one (cache, tiling) point of `kernel` by simulation.
+  /// Evaluate one (cache, tiling) point of `kernel` by simulation. This
+  /// is the reference per-point path: it regenerates the trace on every
+  /// call (the sweep entry points below share traces instead).
   [[nodiscard]] DesignPoint evaluate(const Kernel& kernel,
                                      const CacheConfig& cache,
                                      std::uint32_t tiling = 1) const;
 
-  /// Run the full MemExplore sweep over `kernel`.
+  /// Run the full MemExplore sweep over `kernel` on the shared-trace
+  /// one-pass engine. Bit-identical to calling evaluate() per sweep key.
   [[nodiscard]] ExplorationResult explore(const Kernel& kernel) const;
 
   /// Every (T, L, S, B) coordinate the configured ranges visit.
   [[nodiscard]] std::vector<ConfigKey> sweepKeys() const;
+
+  /// Partition `keys` into trace groups (computing and memoizing the
+  /// layouts). Serial; the returned plan can then be evaluated group by
+  /// group, concurrently if desired.
+  [[nodiscard]] SweepPlan planSweep(const Kernel& kernel,
+                                    std::vector<ConfigKey> keys) const;
+
+  /// Generate (or fetch from `patterns`) the access pattern behind
+  /// `group` and materialize its trace. Pure apart from `patterns`;
+  /// safe to call concurrently with distinct pattern caches.
+  [[nodiscard]] Trace buildGroupTrace(const Kernel& kernel,
+                                      const SweepPlan::Group& group,
+                                      PatternCache& patterns) const;
+
+  /// Evaluate every key of `group` against its shared trace in one
+  /// MultiCacheSim pass, writing results into `out` at the keys'
+  /// positions. Touches no mutable Explorer state (thread-safe).
+  void evaluateGroup(const SweepPlan::Group& group, const Trace& trace,
+                     double addrActivity,
+                     const std::vector<ConfigKey>& keys,
+                     std::vector<DesignPoint>& out) const;
+
+  /// Add_bs for `trace` under the configured measurement option.
+  [[nodiscard]] double addrActivityFor(const Trace& trace) const;
+
+  /// CacheConfig for a sweep key with this run's policies applied.
+  [[nodiscard]] CacheConfig configFor(const ConfigKey& key) const;
+
+  /// Drop the memoized layouts and traces (invalidates outstanding
+  /// SweepPlans). The caches only ever grow otherwise; see
+  /// traceCacheBytes() for the footprint.
+  void clearCaches() noexcept;
+
+  /// Approximate heap footprint of the trace cache in bytes.
+  [[nodiscard]] std::size_t traceCacheBytes() const noexcept;
 
   [[nodiscard]] const ExploreOptions& options() const noexcept {
     return options_;
@@ -100,9 +184,29 @@ private:
                                 const Kernel* tiledProbe,
                                 std::uint32_t tiling) const;
 
+  /// A shared immutable trace plus its measured bus activity.
+  struct TraceEntry {
+    Trace trace;
+    double addrActivity = 0.0;
+  };
+
+  /// Memoized trace per SweepPlan::Group::traceKey (serial use only;
+  /// the parallel explorer materializes worker-local traces instead).
+  const TraceEntry& traceFor(const Kernel& kernel,
+                             const SweepPlan::Group& group,
+                             PatternCache& patterns) const;
+
+  /// Fold simulated stats into a DesignPoint via the paper's cycle and
+  /// energy models (the shared tail of both evaluation paths).
+  [[nodiscard]] DesignPoint makePoint(const CacheConfig& config,
+                                      std::uint32_t tiling,
+                                      const CacheStats& stats,
+                                      double addBs) const;
+
   ExploreOptions options_;
   CycleModel cycleModel_;
   mutable std::map<std::string, MemoryLayout> layoutCache_;
+  mutable std::map<std::string, TraceEntry> traceCache_;
 };
 
 }  // namespace memx

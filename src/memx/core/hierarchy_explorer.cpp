@@ -33,11 +33,20 @@ HierarchyPoint evaluateHierarchyPoint(const Trace& trace,
                                       const CacheConfig& l2,
                                       const EnergyParams& energy,
                                       const HierarchyTiming& timing) {
+  return evaluateHierarchyPoint(trace, l1, l2, energy, timing,
+                                measureAddrActivity(trace));
+}
+
+HierarchyPoint evaluateHierarchyPoint(const Trace& trace,
+                                      const CacheConfig& l1,
+                                      const CacheConfig& l2,
+                                      const EnergyParams& energy,
+                                      const HierarchyTiming& timing,
+                                      double addBs) {
   CacheHierarchy stack(l1, l2);
   stack.run(trace);
   const HierarchyStats& s = stack.stats();
 
-  const double addBs = measureAddrActivity(trace);
   const CacheEnergyModel l1Model(l1, energy, addBs);
   const CacheEnergyModel l2Model(l2, energy, addBs);
 
@@ -62,6 +71,8 @@ std::vector<HierarchyPoint> exploreHierarchy(const Trace& trace,
                                              const EnergyParams& energy,
                                              const HierarchyTiming& timing) {
   ranges.validate();
+  // One trace walk for the bus activity; every point below reuses it.
+  const double addBs = measureAddrActivity(trace);
   std::vector<HierarchyPoint> points;
   for (const std::uint64_t s1 :
        pow2Range(ranges.minL1Bytes, ranges.maxL1Bytes)) {
@@ -76,7 +87,7 @@ std::vector<HierarchyPoint> exploreHierarchy(const Trace& trace,
       l2.lineBytes = ranges.l2LineBytes;
       l2.associativity = ranges.l2Associativity;
       points.push_back(
-          evaluateHierarchyPoint(trace, l1, l2, energy, timing));
+          evaluateHierarchyPoint(trace, l1, l2, energy, timing, addBs));
     }
   }
   return points;

@@ -48,6 +48,13 @@ struct HierarchyRanges {
     const Trace& trace, const CacheConfig& l1, const CacheConfig& l2,
     const EnergyParams& energy = {}, const HierarchyTiming& timing = {});
 
+/// Same, with the trace's address-bus activity supplied by the caller so
+/// a sweep measures it once instead of re-walking the trace per point.
+[[nodiscard]] HierarchyPoint evaluateHierarchyPoint(
+    const Trace& trace, const CacheConfig& l1, const CacheConfig& l2,
+    const EnergyParams& energy, const HierarchyTiming& timing,
+    double addBs);
+
 /// Sweep every valid (L1, L2) pair (L2 >= L1) over `trace`.
 [[nodiscard]] std::vector<HierarchyPoint> exploreHierarchy(
     const Trace& trace, const HierarchyRanges& ranges,

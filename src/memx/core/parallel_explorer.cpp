@@ -1,6 +1,7 @@
 #include "memx/core/parallel_explorer.hpp"
 
-#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <thread>
 #include <vector>
 
@@ -9,31 +10,56 @@ namespace memx {
 ExplorationResult exploreParallel(const Kernel& kernel,
                                   const ExploreOptions& options,
                                   unsigned threads) {
+  const Explorer grid(options);
+  return exploreParallel(grid, kernel, threads);
+}
+
+ExplorationResult exploreParallel(const Explorer& grid, const Kernel& kernel,
+                                  unsigned threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  const Explorer grid(options);
-  const std::vector<ConfigKey> keys = grid.sweepKeys();
+  // Planning is serial: it fills the layout memo the group pointers
+  // alias. Workers afterwards only read the plan and the grid.
+  const SweepPlan plan = grid.planSweep(kernel, grid.sweepKeys());
   threads = std::min<unsigned>(
-      threads, std::max<std::size_t>(1, keys.size()));
+      threads, static_cast<unsigned>(std::max<std::size_t>(
+                   1, plan.groups.size())));
 
-  std::vector<DesignPoint> points(keys.size());
+  std::vector<DesignPoint> points(plan.keys.size());
+  std::atomic<std::size_t> nextGroup{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(threads);
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
     workers.emplace_back([&, t]() {
-      // Each worker owns an Explorer so the layout memo stays private.
-      const Explorer local(options);
-      for (std::size_t i = t; i < keys.size(); i += threads) {
-        CacheConfig cache;
-        cache.sizeBytes = keys[i].cacheBytes;
-        cache.lineBytes = keys[i].lineBytes;
-        cache.associativity = keys[i].associativity;
-        points[i] = local.evaluate(kernel, cache, keys[i].tiling);
+      // Patterns are memoized per worker: the nest walk happens at most
+      // once per distinct tiling per worker, traces once per group.
+      Explorer::PatternCache patterns;
+      try {
+        for (;;) {
+          const std::size_t g =
+              nextGroup.fetch_add(1, std::memory_order_relaxed);
+          if (g >= plan.groups.size() ||
+              failed.load(std::memory_order_relaxed)) {
+            break;
+          }
+          const SweepPlan::Group& group = plan.groups[g];
+          const Trace trace = grid.buildGroupTrace(kernel, group, patterns);
+          grid.evaluateGroup(group, trace, grid.addrActivityFor(trace),
+                             plan.keys, points);
+        }
+      } catch (...) {
+        errors[t] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
       }
     });
   }
   for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 
   ExplorationResult result;
   result.workload = kernel.name;

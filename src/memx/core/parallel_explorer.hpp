@@ -1,9 +1,17 @@
 // Multi-threaded MemExplore sweep.
 //
-// Design points are independent, so the sweep parallelizes trivially:
-// the key grid is partitioned across worker threads, each with its own
-// Explorer (the layout memo is not thread-safe by design). Results are
-// identical to the serial sweep, in the same key order.
+// The sweep is partitioned into trace groups — sets of (T, L, S, B)
+// points sharing one tiling and one memory layout, hence one reference
+// trace. Workers claim whole groups from a shared counter; each worker
+// materializes the group's trace once (with a worker-local access-pattern
+// cache) and evaluates the group's configuration bank against it in a
+// single MultiCacheSim pass. Results are identical to the serial sweep,
+// in the same key order.
+//
+// Exceptions thrown inside a worker (for example a contract violation
+// while generating a kernel's trace) are captured per worker and the
+// first one is rethrown on the calling thread after all workers joined —
+// they never reach a thread boundary and terminate the process.
 #pragma once
 
 #include <cstdint>
@@ -18,5 +26,12 @@ namespace memx {
 [[nodiscard]] ExplorationResult exploreParallel(
     const Kernel& kernel, const ExploreOptions& options,
     unsigned threads = 0);
+
+/// Same, reusing an existing Explorer so its memoized layouts carry over
+/// between runs (the planning phase runs serially on the calling thread
+/// and may grow `grid`'s layout memo; workers only read it).
+[[nodiscard]] ExplorationResult exploreParallel(const Explorer& grid,
+                                                const Kernel& kernel,
+                                                unsigned threads = 0);
 
 }  // namespace memx

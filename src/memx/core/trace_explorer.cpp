@@ -2,9 +2,28 @@
 
 #include "memx/cachesim/bus_monitor.hpp"
 #include "memx/cachesim/cache_sim.hpp"
+#include "memx/cachesim/multi_sim.hpp"
 #include "memx/timing/cycle_model.hpp"
 
 namespace memx {
+
+namespace {
+
+DesignPoint foldTracePoint(const CacheConfig& config, const CacheStats& stats,
+                           double addBs, const ExploreOptions& options,
+                           const CycleModel& cycleModel) {
+  const CacheEnergyModel energyModel(config, options.energy, addBs);
+  DesignPoint point;
+  point.key = ConfigKey{config.sizeBytes, config.lineBytes,
+                        config.associativity, 1};
+  point.accesses = stats.accesses();
+  point.missRate = stats.missRate();
+  point.cycles = cycleModel.cycles(stats, config, 1);
+  point.energyNj = energyModel.totalNj(stats);
+  return point;
+}
+
+}  // namespace
 
 DesignPoint evaluateTracePoint(const Trace& trace, const CacheConfig& cache,
                                const ExploreOptions& options) {
@@ -20,32 +39,36 @@ DesignPoint evaluateTracePoint(const Trace& trace, const CacheConfig& cache,
                            ? measureAddrActivity(trace)
                            : kDefaultAddrSwitchesPerAccess;
   const CycleModel cycleModel(options.timing);
-  const CacheEnergyModel energyModel(config, options.energy, addBs);
-
-  DesignPoint point;
-  point.key = ConfigKey{config.sizeBytes, config.lineBytes,
-                        config.associativity, 1};
-  point.accesses = stats.accesses();
-  point.missRate = stats.missRate();
-  point.cycles = cycleModel.cycles(stats, config, 1);
-  point.energyNj = energyModel.totalNj(stats);
-  return point;
+  return foldTracePoint(config, stats, addBs, options, cycleModel);
 }
 
 ExplorationResult exploreTrace(const std::string& name, const Trace& trace,
                                const ExploreOptions& options) {
   ExploreOptions o = options;
   o.ranges.sweepTiling = false;
-  const Explorer grid(o);  // reuse the sweep-key generator
+  const Explorer grid(o);  // reuse the sweep-key generator; validates
+
+  // The trace is fixed, so the whole (T, L, S) grid is one config bank:
+  // a single trace pass through MultiCacheSim, with the bus activity
+  // measured once instead of per point.
+  const std::vector<ConfigKey> keys = grid.sweepKeys();
+  std::vector<CacheConfig> configs;
+  configs.reserve(keys.size());
+  for (const ConfigKey& key : keys) configs.push_back(grid.configFor(key));
 
   ExplorationResult result;
   result.workload = name;
-  for (const ConfigKey& key : grid.sweepKeys()) {
-    CacheConfig cache;
-    cache.sizeBytes = key.cacheBytes;
-    cache.lineBytes = key.lineBytes;
-    cache.associativity = key.associativity;
-    result.points.push_back(evaluateTracePoint(trace, cache, o));
+  if (keys.empty()) return result;
+
+  const std::vector<CacheStats> stats = simulateTraceMulti(configs, trace);
+  const double addBs = o.measureBusActivity
+                           ? measureAddrActivity(trace)
+                           : kDefaultAddrSwitchesPerAccess;
+  const CycleModel cycleModel(o.timing);
+  result.points.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    result.points.push_back(
+        foldTracePoint(configs[i], stats[i], addBs, o, cycleModel));
   }
   return result;
 }

@@ -79,6 +79,20 @@ std::uint64_t MemoryLayout::address(
   return placement(arrayIdx).address(subscripts);
 }
 
+std::string MemoryLayout::signature() const {
+  std::string sig;
+  for (const ArrayPlacement& p : placements_) {
+    sig += std::to_string(p.baseAddr);
+    sig += '@';
+    for (const std::uint64_t pitch : p.pitches) {
+      sig += std::to_string(pitch);
+      sig += ',';
+    }
+    sig += ';';
+  }
+  return sig;
+}
+
 std::uint64_t MemoryLayout::endAddr(const Kernel& kernel) const {
   MEMX_EXPECTS(placements_.size() == kernel.arrays.size(),
                "layout does not match kernel arrays");

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "memx/loopir/kernel.hpp"
@@ -57,6 +58,12 @@ public:
 
   /// One past the highest byte any array occupies (padding included).
   [[nodiscard]] std::uint64_t endAddr(const Kernel& kernel) const;
+
+  /// Canonical text form of the placement (bases and pitches). Two
+  /// layouts with equal signatures address every element identically, so
+  /// they generate identical traces — the sweep engine keys its trace
+  /// cache on this.
+  [[nodiscard]] std::string signature() const;
 
 private:
   std::vector<ArrayPlacement> placements_;

@@ -25,6 +25,34 @@ std::uint64_t indirectElem(const ArrayAccess& acc, const ArrayDecl& decl,
   return h % decl.elemCount();
 }
 
+/// Resolve the element an access touches at iteration `iv` into `subs`
+/// (affine evaluation with range checks, or indirect decomposition).
+void resolveSubscripts(const Kernel& kernel, const ArrayAccess& acc,
+                       const ArrayDecl& decl,
+                       std::span<const std::int64_t> iv,
+                       std::vector<std::int64_t>& subs) {
+  if (acc.isAffine()) {
+    subs.clear();
+    for (std::size_t d = 0; d < acc.subscripts.size(); ++d) {
+      const std::int64_t s = acc.subscripts[d].eval(iv);
+      MEMX_EXPECTS(s >= 0 && s < decl.extents[d],
+                   "subscript out of bounds in kernel " + kernel.name +
+                       " array " + decl.name);
+      subs.push_back(s);
+    }
+  } else {
+    // Data-dependent access: a deterministic pseudo-random element.
+    const std::uint64_t elem = indirectElem(acc, decl, iv);
+    subs.assign(decl.rank(), 0);
+    std::uint64_t rest = elem;
+    for (std::size_t d = decl.rank(); d-- > 0;) {
+      const auto extent = static_cast<std::uint64_t>(decl.extents[d]);
+      subs[d] = static_cast<std::int64_t>(rest % extent);
+      rest /= extent;
+    }
+  }
+}
+
 Trace generateUpTo(const Kernel& kernel, const MemoryLayout& layout,
                    std::size_t maxRefs) {
   kernel.validate();
@@ -35,32 +63,11 @@ Trace generateUpTo(const Kernel& kernel, const MemoryLayout& layout,
         for (const ArrayAccess& acc : kernel.body) {
           if (trace.size() >= maxRefs) return false;
           const ArrayDecl& decl = kernel.arrays[acc.arrayIndex];
-          std::uint64_t addr = 0;
-          if (acc.isAffine()) {
-            subs.clear();
-            for (std::size_t d = 0; d < acc.subscripts.size(); ++d) {
-              const std::int64_t s = acc.subscripts[d].eval(iv);
-              MEMX_EXPECTS(s >= 0 && s < decl.extents[d],
-                           "subscript out of bounds in kernel " +
-                               kernel.name + " array " + decl.name);
-              subs.push_back(s);
-            }
-            addr = layout.address(acc.arrayIndex, subs);
-          } else {
-            // Data-dependent access: a deterministic pseudo-random
-            // element, addressed through the placement so padding (if
-            // any) is respected.
-            const std::uint64_t elem = indirectElem(acc, decl, iv);
-            subs.assign(decl.rank(), 0);
-            std::uint64_t rest = elem;
-            for (std::size_t d = decl.rank(); d-- > 0;) {
-              const auto extent =
-                  static_cast<std::uint64_t>(decl.extents[d]);
-              subs[d] = static_cast<std::int64_t>(rest % extent);
-              rest /= extent;
-            }
-            addr = layout.placement(acc.arrayIndex).address(subs);
-          }
+          resolveSubscripts(kernel, acc, decl, iv, subs);
+          // Addressed through the placement so padding (if any) is
+          // respected.
+          const std::uint64_t addr =
+              layout.placement(acc.arrayIndex).address(subs);
           trace.push(MemRef{addr, decl.elemBytes, acc.type});
         }
         return trace.size() < maxRefs;
@@ -69,6 +76,51 @@ Trace generateUpTo(const Kernel& kernel, const MemoryLayout& layout,
 }
 
 }  // namespace
+
+AccessPattern generateAccessPattern(const Kernel& kernel) {
+  kernel.validate();
+  AccessPattern pattern;
+  pattern.ranks.reserve(kernel.arrays.size());
+  pattern.elemBytes.reserve(kernel.arrays.size());
+  for (const ArrayDecl& decl : kernel.arrays) {
+    pattern.ranks.push_back(static_cast<std::uint32_t>(decl.rank()));
+    pattern.elemBytes.push_back(decl.elemBytes);
+  }
+  const std::uint64_t expected = kernel.referenceCount();
+  pattern.refs.reserve(expected);
+  std::vector<std::int64_t> subs;
+  kernel.nest.forEachIterationWhile(
+      [&](std::span<const std::int64_t> iv) -> bool {
+        for (const ArrayAccess& acc : kernel.body) {
+          const ArrayDecl& decl = kernel.arrays[acc.arrayIndex];
+          resolveSubscripts(kernel, acc, decl, iv, subs);
+          pattern.refs.push_back(AccessPattern::Ref{
+              static_cast<std::uint32_t>(acc.arrayIndex), acc.type});
+          pattern.coords.insert(pattern.coords.end(), subs.begin(),
+                                subs.end());
+        }
+        return true;
+      });
+  return pattern;
+}
+
+Trace materializeTrace(const AccessPattern& pattern,
+                       const MemoryLayout& layout) {
+  MEMX_EXPECTS(layout.arrayCount() >= pattern.ranks.size(),
+               "layout covers fewer arrays than the pattern references");
+  std::vector<MemRef> refs;
+  refs.reserve(pattern.refs.size());
+  std::size_t coord = 0;
+  for (const AccessPattern::Ref& ref : pattern.refs) {
+    const std::uint32_t rank = pattern.ranks[ref.arrayIndex];
+    const std::span<const std::int64_t> subs(pattern.coords.data() + coord,
+                                             rank);
+    coord += rank;
+    refs.push_back(MemRef{layout.placement(ref.arrayIndex).address(subs),
+                          pattern.elemBytes[ref.arrayIndex], ref.type});
+  }
+  return Trace(std::move(refs));
+}
 
 Trace generateTrace(const Kernel& kernel, const MemoryLayout& layout) {
   return generateUpTo(kernel, layout,

@@ -16,11 +16,62 @@ constexpr const char* kHeader =
     "workload,cache,line,assoc,tiling,accesses,miss_rate,cycles,"
     "energy_nj";
 
-std::vector<std::string> splitCsvLine(const std::string& line) {
+/// RFC-4180-style field escaping: fields containing a comma, quote or
+/// newline are wrapped in quotes with inner quotes doubled. Used for the
+/// workload name, the only free-text CSV column.
+std::string csvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Split one CSV line honoring quoted fields ("" inside quotes is a
+/// literal quote). Throws with the 1-based `lineNo` on unbalanced quotes
+/// or garbage after a closing quote.
+std::vector<std::string> splitCsvLine(const std::string& line,
+                                      std::size_t lineNo) {
   std::vector<std::string> cells;
   std::string cell;
-  std::istringstream is(line);
-  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  bool quoted = false;
+  bool cellWasQuoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+    } else if (c == '"') {
+      MEMX_EXPECTS(cell.empty() && !cellWasQuoted,
+                   "exploration-CSV row " + std::to_string(lineNo) +
+                       ": quote inside an unquoted field");
+      quoted = true;
+      cellWasQuoted = true;
+    } else if (c == ',') {
+      cells.push_back(std::move(cell));
+      cell.clear();
+      cellWasQuoted = false;
+    } else {
+      MEMX_EXPECTS(!cellWasQuoted,
+                   "exploration-CSV row " + std::to_string(lineNo) +
+                       ": content after a closing quote");
+      cell += c;
+    }
+  }
+  MEMX_EXPECTS(!quoted, "exploration-CSV row " + std::to_string(lineNo) +
+                            ": unterminated quoted field");
+  cells.push_back(std::move(cell));
   return cells;
 }
 
@@ -41,7 +92,7 @@ void writeResultCsv(std::ostream& os, const ExplorationResult& result) {
   os << std::setprecision(17);
   os << kHeader << '\n';
   for (const DesignPoint& p : result.points) {
-    os << result.workload << ',' << p.key.cacheBytes << ','
+    os << csvEscape(result.workload) << ',' << p.key.cacheBytes << ','
        << p.key.lineBytes << ',' << p.key.associativity << ','
        << p.key.tiling << ',' << p.accesses << ',' << p.missRate << ','
        << p.cycles << ',' << p.energyNj << '\n';
@@ -57,7 +108,7 @@ ExplorationResult readResultCsv(std::istream& is) {
   while (std::getline(is, line)) {
     ++lineNo;
     if (line.empty()) continue;
-    const std::vector<std::string> cells = splitCsvLine(line);
+    const std::vector<std::string> cells = splitCsvLine(line, lineNo);
     MEMX_EXPECTS(cells.size() == 9, "exploration-CSV row " +
                                         std::to_string(lineNo) +
                                         " has wrong column count");

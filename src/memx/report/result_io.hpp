@@ -13,10 +13,13 @@ namespace memx {
 
 /// Write `result` as CSV with the header
 /// `workload,cache,line,assoc,tiling,accesses,miss_rate,cycles,energy_nj`.
+/// Workload names containing commas, quotes or newlines are quoted
+/// RFC-4180 style (inner quotes doubled) so the file round-trips.
 void writeResultCsv(std::ostream& os, const ExplorationResult& result);
 
-/// Parse the CSV produced by writeResultCsv. Throws
-/// memx::ContractViolation on malformed input (wrong header, bad row).
+/// Parse the CSV produced by writeResultCsv, honoring quoted fields.
+/// Throws memx::ContractViolation naming the offending line number on
+/// malformed input (wrong header, bad quoting, wrong column count).
 [[nodiscard]] ExplorationResult readResultCsv(std::istream& is);
 
 /// Write `result` as a JSON object

@@ -10,10 +10,18 @@ namespace memx {
 
 void writeDin(std::ostream& os, const Trace& trace) {
   for (const MemRef& ref : trace) {
-    const int label =
-        ref.type == AccessType::Read
-            ? static_cast<int>(DinLabel::Read)
-            : static_cast<int>(DinLabel::Write);
+    int label = static_cast<int>(DinLabel::Read);
+    switch (ref.type) {
+      case AccessType::Read:
+        label = static_cast<int>(DinLabel::Read);
+        break;
+      case AccessType::Write:
+        label = static_cast<int>(DinLabel::Write);
+        break;
+      case AccessType::Instr:
+        label = static_cast<int>(DinLabel::Ifetch);
+        break;
+    }
     os << label << ' ' << std::hex << ref.addr << std::dec << '\n';
   }
 }
@@ -48,9 +56,12 @@ Trace readDin(std::istream& is, std::uint32_t refSize) {
     MEMX_EXPECTS(parsed && consumed == addrText.size(),
                  "din line " + std::to_string(lineNo) + ": bad address " +
                      addrText);
-    const AccessType type = label == static_cast<int>(DinLabel::Write)
-                                ? AccessType::Write
-                                : AccessType::Read;
+    AccessType type = AccessType::Read;
+    if (label == static_cast<int>(DinLabel::Write)) {
+      type = AccessType::Write;
+    } else if (label == static_cast<int>(DinLabel::Ifetch)) {
+      type = AccessType::Instr;
+    }
     trace.push(MemRef{addr, refSize, type});
   }
   return trace;

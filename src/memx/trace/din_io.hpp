@@ -21,14 +21,15 @@ enum class DinLabel : int {
   Ifetch = 2,
 };
 
-/// Write `trace` in din format ("0 1a2b\n" ...). Data accesses map to
-/// labels 0/1; the per-reference size is not representable in din and is
-/// dropped (Dinero assumes word accesses).
+/// Write `trace` in din format ("0 1a2b\n" ...). Reads, writes and
+/// instruction fetches map to labels 0/1/2; the per-reference size is not
+/// representable in din and is dropped (Dinero assumes word accesses).
 void writeDin(std::ostream& os, const Trace& trace);
 
 /// Parse a din stream. Lines may use any whitespace separation; blank
 /// lines and lines starting with '#' are skipped. Label 2 (ifetch) is
-/// mapped to a read. Throws memx::ContractViolation on malformed input.
+/// preserved as AccessType::Instr so traces round-trip. Throws
+/// memx::ContractViolation on malformed input.
 /// `refSize` is the access size to stamp on every reference.
 [[nodiscard]] Trace readDin(std::istream& is, std::uint32_t refSize = 4);
 

@@ -9,11 +9,19 @@
 
 namespace memx {
 
-/// Direction of a data-cache access.
+/// Direction of a memory access. Instruction fetches behave like reads
+/// everywhere in the simulators (they allocate and never dirty a line)
+/// but keep their identity so din traces round-trip label 2.
 enum class AccessType : std::uint8_t {
   Read,
   Write,
+  Instr,
 };
+
+/// True for accesses that behave like loads (Read and Instr).
+[[nodiscard]] constexpr bool isReadLike(AccessType type) noexcept {
+  return type != AccessType::Write;
+}
 
 /// One data-memory reference: byte address, access width, direction.
 struct MemRef {
@@ -35,6 +43,12 @@ struct MemRef {
 [[nodiscard]] constexpr MemRef writeRef(std::uint64_t addr,
                                         std::uint32_t size = 4) noexcept {
   return MemRef{addr, size, AccessType::Write};
+}
+
+/// Convenience factory for an instruction-fetch reference.
+[[nodiscard]] constexpr MemRef instrRef(std::uint64_t addr,
+                                        std::uint32_t size = 4) noexcept {
+  return MemRef{addr, size, AccessType::Instr};
 }
 
 }  // namespace memx

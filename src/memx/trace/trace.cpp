@@ -11,7 +11,7 @@ void Trace::append(const Trace& other) {
 std::size_t Trace::readCount() const noexcept {
   return static_cast<std::size_t>(
       std::count_if(refs_.begin(), refs_.end(), [](const MemRef& r) {
-        return r.type == AccessType::Read;
+        return isReadLike(r.type);
       }));
 }
 

@@ -35,7 +35,7 @@ public:
     return refs_;
   }
 
-  /// Number of read references.
+  /// Number of read-like references (loads and instruction fetches).
   [[nodiscard]] std::size_t readCount() const noexcept;
   /// Number of write references.
   [[nodiscard]] std::size_t writeCount() const noexcept;

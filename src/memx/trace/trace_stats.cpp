@@ -19,7 +19,7 @@ TraceStats computeStats(const Trace& trace, std::uint32_t lineSize) {
   std::unordered_set<std::uint64_t> addrs;
   std::unordered_set<std::uint64_t> lines;
   for (const MemRef& r : trace) {
-    if (r.type == AccessType::Read) {
+    if (isReadLike(r.type)) {
       ++s.reads;
     } else {
       ++s.writes;

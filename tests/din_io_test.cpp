@@ -26,11 +26,32 @@ TEST(DinIo, RoundTripsAddressesAndTypes) {
   }
 }
 
-TEST(DinIo, ParsesIfetchAsRead) {
+TEST(DinIo, PreservesIfetchLabel) {
   const Trace t = fromDinString("2 400\n");
   ASSERT_EQ(t.size(), 1u);
-  EXPECT_EQ(t[0].type, AccessType::Read);
+  EXPECT_EQ(t[0].type, AccessType::Instr);
   EXPECT_EQ(t[0].addr, 0x400u);
+}
+
+TEST(DinIo, IfetchRoundTrips) {
+  Trace original;
+  original.push(instrRef(0x1000));
+  original.push(readRef(0x20));
+  original.push(instrRef(0x1004));
+  original.push(writeRef(0x24));
+  EXPECT_EQ(toDinString(original), "2 1000\n0 20\n2 1004\n1 24\n");
+  const Trace parsed = fromDinString(toDinString(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].addr, original[i].addr);
+    EXPECT_EQ(parsed[i].type, original[i].type);
+  }
+}
+
+TEST(DinIo, IfetchIsReadLikeInTraceCounts) {
+  const Trace t = fromDinString("2 0\n0 4\n1 8\n");
+  EXPECT_EQ(t.readCount(), 2u);
+  EXPECT_EQ(t.writeCount(), 1u);
 }
 
 TEST(DinIo, SkipsBlankAndCommentLines) {

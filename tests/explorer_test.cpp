@@ -93,6 +93,69 @@ TEST(Explorer, ResultAtThrowsOnUnexploredKey) {
   EXPECT_THROW((void)r.at(ConfigKey{4096, 64, 1, 1}), ContractViolation);
 }
 
+TEST(ExplorationResult, FindIndexRebuildsAfterAppend) {
+  ExplorationResult r;
+  DesignPoint p;
+  p.key = ConfigKey{64, 8, 1, 1};
+  p.cycles = 10.0;
+  r.points.push_back(p);
+  const DesignPoint* first = r.find(ConfigKey{64, 8, 1, 1});
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->cycles, 10.0);
+  EXPECT_EQ(r.find(ConfigKey{128, 8, 1, 1}), nullptr);
+
+  // Appending changes the size, so the lazy index must rebuild and see
+  // the new point on the next lookup.
+  p.key = ConfigKey{128, 8, 1, 1};
+  p.cycles = 20.0;
+  r.points.push_back(p);
+  const DesignPoint* second = r.find(ConfigKey{128, 8, 1, 1});
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->cycles, 20.0);
+  EXPECT_EQ(&r.at(ConfigKey{64, 8, 1, 1}), &r.points[0]);
+}
+
+TEST(ExplorationResult, FindReturnsFirstOfDuplicateKeys) {
+  ExplorationResult r;
+  DesignPoint p;
+  p.key = ConfigKey{64, 8, 1, 1};
+  p.cycles = 1.0;
+  r.points.push_back(p);
+  p.cycles = 2.0;
+  r.points.push_back(p);
+  const DesignPoint* found = r.find(p.key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &r.points[0]);
+}
+
+TEST(Explorer, ExploreMatchesPerPointEvaluateExactly) {
+  // The shared-trace engine must be bit-identical to the reference
+  // per-point path (the old explore() implementation).
+  const Explorer ex(smallSweep());
+  const Kernel k = compressKernel();
+  const ExplorationResult r = ex.explore(k);
+  const std::vector<ConfigKey> keys = ex.sweepKeys();
+  ASSERT_EQ(r.points.size(), keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const DesignPoint p =
+        ex.evaluate(k, ex.configFor(keys[i]), keys[i].tiling);
+    EXPECT_EQ(r.points[i].key, p.key);
+    EXPECT_EQ(r.points[i].accesses, p.accesses);
+    EXPECT_EQ(r.points[i].missRate, p.missRate);
+    EXPECT_EQ(r.points[i].cycles, p.cycles);
+    EXPECT_EQ(r.points[i].energyNj, p.energyNj);
+  }
+}
+
+TEST(Explorer, TraceCacheGrowsAndClears) {
+  Explorer ex(smallSweep());
+  EXPECT_EQ(ex.traceCacheBytes(), 0u);
+  (void)ex.explore(dequantKernel(8));
+  EXPECT_GT(ex.traceCacheBytes(), 0u);
+  ex.clearCaches();
+  EXPECT_EQ(ex.traceCacheBytes(), 0u);
+}
+
 TEST(Explorer, OptimizedLayoutNeverWorseOnCompress) {
   ExploreOptions opt = smallSweep();
   ExploreOptions unopt = smallSweep();

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/cachesim/multi_sim.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+/// Mixed random reads/writes/ifetches over a span that overflows the
+/// small bank geometries, with occasional line-straddling sizes.
+Trace mixedRandomTrace(std::size_t count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> addr(0, 4096);
+  std::uniform_int_distribution<int> kind(0, 9);
+  std::vector<MemRef> refs;
+  refs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t a = addr(rng);
+    const int k = kind(rng);
+    if (k < 4) {
+      refs.push_back(readRef(a));
+    } else if (k < 7) {
+      refs.push_back(writeRef(a));
+    } else if (k < 9) {
+      refs.push_back(instrRef(a));
+    } else {
+      refs.push_back(MemRef{a, 8, AccessType::Read});  // may straddle lines
+    }
+  }
+  return Trace(std::move(refs));
+}
+
+/// A bank mixing geometries: several distinct line sizes so the shared
+/// line-decomposition groups are actually exercised, plus repeated line
+/// sizes within a group.
+std::vector<CacheConfig> bankConfigs(ReplacementPolicy replacement,
+                                     WritePolicy write,
+                                     AllocatePolicy allocate) {
+  std::vector<CacheConfig> configs;
+  const std::uint32_t geometries[][3] = {
+      {64, 8, 1}, {64, 8, 2}, {128, 8, 4}, {64, 16, 2},
+      {128, 16, 1}, {256, 32, 2}, {64, 4, 1},
+  };
+  for (const auto& g : geometries) {
+    CacheConfig c;
+    c.sizeBytes = g[0];
+    c.lineBytes = g[1];
+    c.associativity = g[2];
+    c.replacement = replacement;
+    c.writePolicy = write;
+    c.allocatePolicy = allocate;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+void expectStatsEqual(const CacheStats& a, const CacheStats& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.reads, b.reads) << what;
+  EXPECT_EQ(a.writes, b.writes) << what;
+  EXPECT_EQ(a.readHits, b.readHits) << what;
+  EXPECT_EQ(a.readMisses, b.readMisses) << what;
+  EXPECT_EQ(a.writeHits, b.writeHits) << what;
+  EXPECT_EQ(a.writeMisses, b.writeMisses) << what;
+  EXPECT_EQ(a.lineFills, b.lineFills) << what;
+  EXPECT_EQ(a.writebacks, b.writebacks) << what;
+  EXPECT_EQ(a.memWrites, b.memWrites) << what;
+}
+
+TEST(MultiCacheSim, MatchesIndependentSimsEveryPolicyCombination) {
+  const Trace trace = mixedRandomTrace(3000, 42);
+  for (const ReplacementPolicy replacement :
+       {ReplacementPolicy::LRU, ReplacementPolicy::FIFO,
+        ReplacementPolicy::Random, ReplacementPolicy::TreePLRU}) {
+    for (const WritePolicy write :
+         {WritePolicy::WriteBack, WritePolicy::WriteThrough}) {
+      for (const AllocatePolicy allocate :
+           {AllocatePolicy::WriteAllocate, AllocatePolicy::NoWriteAllocate}) {
+        const std::vector<CacheConfig> configs =
+            bankConfigs(replacement, write, allocate);
+        const std::vector<CacheStats> multi =
+            simulateTraceMulti(configs, trace);
+        ASSERT_EQ(multi.size(), configs.size());
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+          const CacheStats solo = simulateTrace(configs[i], trace);
+          expectStatsEqual(multi[i], solo,
+                           configs[i].label() + " " + toString(replacement) +
+                               "/" + toString(write) + "/" +
+                               toString(allocate));
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiCacheSim, MatchesIndependentSimsOnSeveralSeeds) {
+  const std::vector<CacheConfig> configs = bankConfigs(
+      ReplacementPolicy::LRU, WritePolicy::WriteBack,
+      AllocatePolicy::WriteAllocate);
+  for (const std::uint64_t seed : {1u, 7u, 1234u}) {
+    const Trace trace = mixedRandomTrace(1500, seed);
+    const std::vector<CacheStats> multi = simulateTraceMulti(configs, trace);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      expectStatsEqual(multi[i], simulateTrace(configs[i], trace),
+                       configs[i].label() + " seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(MultiCacheSim, ResetClearsStatsAndContents) {
+  const std::vector<CacheConfig> configs = bankConfigs(
+      ReplacementPolicy::LRU, WritePolicy::WriteBack,
+      AllocatePolicy::WriteAllocate);
+  const Trace trace = mixedRandomTrace(500, 3);
+  MultiCacheSim bank(configs);
+  bank.run(trace);
+  const CacheStats first = bank.stats(0);
+  bank.reset();
+  EXPECT_EQ(bank.stats(0).accesses(), 0u);
+  bank.run(trace);
+  expectStatsEqual(bank.stats(0), first, "after reset");
+}
+
+TEST(MultiCacheSim, RejectsEmptyBankAndInvalidConfig) {
+  EXPECT_THROW(MultiCacheSim(std::vector<CacheConfig>{}), ContractViolation);
+  CacheConfig bad;
+  bad.sizeBytes = 48;  // not a power of two
+  EXPECT_THROW(MultiCacheSim(std::vector<CacheConfig>{bad}),
+               ContractViolation);
+}
+
+TEST(MultiCacheSim, StatsFollowInputOrder) {
+  std::vector<CacheConfig> configs;
+  CacheConfig small;
+  small.sizeBytes = 16;
+  small.lineBytes = 4;
+  CacheConfig large;
+  large.sizeBytes = 1024;
+  large.lineBytes = 4;
+  configs.push_back(large);
+  configs.push_back(small);
+  const Trace trace = mixedRandomTrace(2000, 5);
+  const std::vector<CacheStats> stats = simulateTraceMulti(configs, trace);
+  // The large cache can only miss less; order must match the inputs.
+  EXPECT_LE(stats[0].misses(), stats[1].misses());
+  EXPECT_EQ(stats[0].accesses(), stats[1].accesses());
+}
+
+}  // namespace
+}  // namespace memx

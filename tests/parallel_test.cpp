@@ -2,6 +2,7 @@
 
 #include "memx/core/parallel_explorer.hpp"
 #include "memx/kernels/benchmarks.hpp"
+#include "memx/util/assert.hpp"
 
 namespace memx {
 namespace {
@@ -30,6 +31,39 @@ TEST(ParallelExplorer, MatchesSerialExactly) {
     EXPECT_DOUBLE_EQ(parallel.points[i].energyNj,
                      serial.points[i].energyNj);
   }
+}
+
+TEST(ParallelExplorer, AgreesBitExactlyWithSerial) {
+  // Stronger than MatchesSerialExactly: exact (not ULP-tolerant)
+  // equality of every field, on a kernel deep enough that tiling
+  // actually produces distinct trace groups.
+  const Kernel k = compressKernel();
+  const ExploreOptions o = smallSweep();
+  const ExplorationResult serial = Explorer(o).explore(k);
+  const ExplorationResult parallel = exploreParallel(k, o, 4);
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(parallel.points[i].key, serial.points[i].key);
+    EXPECT_EQ(parallel.points[i].accesses, serial.points[i].accesses);
+    EXPECT_EQ(parallel.points[i].missRate, serial.points[i].missRate);
+    EXPECT_EQ(parallel.points[i].cycles, serial.points[i].cycles);
+    EXPECT_EQ(parallel.points[i].energyNj, serial.points[i].energyNj);
+  }
+}
+
+TEST(ParallelExplorer, WorkerExceptionPropagates) {
+  // An out-of-bounds access fires deep in the iteration space, during
+  // trace generation inside a worker thread (optimizeLayout=false keeps
+  // the serial planning phase from walking the nest first). The
+  // exception must surface on the calling thread, not terminate().
+  Kernel k;
+  k.name = "oob";
+  k.arrays = {ArrayDecl{"a", {100}, 4}};
+  k.nest = LoopNest::rectangular({{0, 127}});
+  k.body = {makeAccess(0, {AffineExpr::var(0)})};
+  ExploreOptions o = smallSweep();
+  o.optimizeLayout = false;
+  EXPECT_THROW((void)exploreParallel(k, o, 4), ContractViolation);
 }
 
 TEST(ParallelExplorer, SingleThreadWorks) {

@@ -54,6 +54,47 @@ TEST(ResultIo, CsvBadFieldChecked) {
   EXPECT_THROW(fromCsvString(bad), ContractViolation);
 }
 
+TEST(ResultIo, WorkloadWithCommaRoundTrips) {
+  ExplorationResult r;
+  r.workload = "mpeg, decode \"fast\"";
+  DesignPoint p;
+  p.key = ConfigKey{64, 8, 2, 1};
+  p.accesses = 100;
+  p.missRate = 0.25;
+  p.cycles = 400.0;
+  p.energyNj = 12.5;
+  r.points.push_back(p);
+  const std::string csv = toCsvString(r);
+  // The free-text field is quoted; the numeric columns are untouched.
+  EXPECT_NE(csv.find("\"mpeg, decode \"\"fast\"\"\""), std::string::npos);
+  const ExplorationResult parsed = fromCsvString(csv);
+  EXPECT_EQ(parsed.workload, r.workload);
+  ASSERT_EQ(parsed.points.size(), 1u);
+  EXPECT_EQ(parsed.points[0].key, p.key);
+  EXPECT_EQ(parsed.points[0].accesses, 100u);
+}
+
+TEST(ResultIo, MalformedQuotingRejectedWithLineNumber) {
+  const std::string header =
+      "workload,cache,line,assoc,tiling,accesses,miss_rate,cycles,"
+      "energy_nj\n";
+  // Unterminated quote.
+  try {
+    (void)fromCsvString(header + "\"broken,64,8,1,1,10,0.1,100,50\n");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("row 2"), std::string::npos);
+  }
+  // Content after a closing quote.
+  EXPECT_THROW(
+      (void)fromCsvString(header + "\"a\"b,64,8,1,1,10,0.1,100,50\n"),
+      ContractViolation);
+  // Quote opening mid-field.
+  EXPECT_THROW(
+      (void)fromCsvString(header + "a\"b\",64,8,1,1,10,0.1,100,50\n"),
+      ContractViolation);
+}
+
 TEST(ResultIo, EmptyResultRoundTrips) {
   ExplorationResult empty;
   empty.workload = "none";
