@@ -1,0 +1,223 @@
+#include "memx/check/differential.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/cachesim/hierarchy.hpp"
+#include "memx/cachesim/multi_sim.hpp"
+#include "memx/cachesim/set_sampling.hpp"
+#include "memx/check/random_gen.hpp"
+#include "memx/check/ref_cache_sim.hpp"
+
+namespace memx {
+
+namespace {
+
+/// First `len` references of `trace` as an independent trace.
+Trace prefixOf(const Trace& trace, std::size_t len) {
+  len = std::min(len, trace.size());
+  std::vector<MemRef> refs(trace.refs().begin(),
+                           trace.refs().begin() +
+                               static_cast<std::ptrdiff_t>(len));
+  return Trace(std::move(refs));
+}
+
+}  // namespace
+
+std::string diffCaseRepro(const DiffCase& c, std::size_t len) {
+  std::ostringstream os;
+  os << "MEMX_DIFF repro: seed=" << c.seed << " len=" << len
+     << " cfg=" << c.config.label()
+     << " repl=" << toString(c.config.replacement)
+     << " write=" << toString(c.config.writePolicy)
+     << " alloc=" << toString(c.config.allocatePolicy)
+     << " l2=" << c.l2.label()
+     << " | rerun: memx::replayDiffCase(" << c.seed << ", " << len << ")";
+  return os.str();
+}
+
+namespace {
+
+/// Describe the first differing CacheStats field, or "" when equal.
+std::string diffStats(const std::string& path, const CacheStats& oracle,
+                      const CacheStats& actual) {
+  const struct {
+    const char* name;
+    std::uint64_t CacheStats::*field;
+  } fields[] = {
+      {"reads", &CacheStats::reads},
+      {"writes", &CacheStats::writes},
+      {"readHits", &CacheStats::readHits},
+      {"readMisses", &CacheStats::readMisses},
+      {"writeHits", &CacheStats::writeHits},
+      {"writeMisses", &CacheStats::writeMisses},
+      {"lineFills", &CacheStats::lineFills},
+      {"writebacks", &CacheStats::writebacks},
+      {"memWrites", &CacheStats::memWrites},
+  };
+  for (const auto& f : fields) {
+    if (oracle.*(f.field) != actual.*(f.field)) {
+      std::ostringstream os;
+      os << path << "." << f.name << ": oracle=" << oracle.*(f.field)
+         << " actual=" << actual.*(f.field);
+      return os.str();
+    }
+  }
+  return {};
+}
+
+/// Core diff of every engine path on `trace`; returns the first
+/// mismatch description, or "" when all paths agree with the oracle.
+std::string diffAllPaths(const DiffCase& c, const Trace& trace) {
+  // Oracle statistics for the primary config.
+  const CacheStats oracle = refSimulateTrace(c.config, trace);
+
+  // Path 1: CacheSim bulk fast path (run -> accessLinesFast).
+  {
+    CacheSim sim(c.config);
+    sim.run(trace);
+    const std::string d = diffStats("CacheSim.run", oracle, sim.stats());
+    if (!d.empty()) return d;
+  }
+
+  // Path 2: CacheSim per-access outcome path, diffed per reference
+  // (hit flag, fills, writebacks and the evicted dirty-line list).
+  {
+    CacheSim sim(c.config);
+    RefCacheSim ref(c.config);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const AccessOutcome got = sim.access(trace[i]);
+      const RefAccessOutcome want = ref.access(trace[i]);
+      if (got.hit != want.hit || got.fills != want.fills ||
+          got.writebacks != want.writebacks ||
+          got.evictedDirtyLines != want.evictedDirtyLines) {
+        std::ostringstream os;
+        os << "CacheSim.access outcome at ref " << i
+           << ": oracle(hit=" << want.hit << " fills=" << want.fills
+           << " wb=" << want.writebacks << ") actual(hit=" << got.hit
+           << " fills=" << got.fills << " wb=" << got.writebacks << ")";
+        return os.str();
+      }
+    }
+    const std::string d =
+        diffStats("CacheSim.access", ref.stats(), sim.stats());
+    if (!d.empty()) return d;
+  }
+
+  // Path 3: MultiCacheSim bank — primary, its L2 companion and a
+  // direct-mapped sibling share one pass; every member must match a
+  // fresh oracle run.
+  {
+    CacheConfig sibling = c.config;
+    sibling.associativity = 1;
+    const std::vector<CacheConfig> bank = {c.config, c.l2, sibling};
+    MultiCacheSim multi(bank);
+    multi.run(trace);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      const std::string d =
+          diffStats("MultiCacheSim[" + std::to_string(i) + "]",
+                    refSimulateTrace(bank[i], trace), multi.stats(i));
+      if (!d.empty()) return d;
+    }
+  }
+
+  // Path 4: two-level hierarchy against the oracle's re-statement of
+  // the inclusive protocol.
+  {
+    CacheHierarchy hier(c.config, c.l2);
+    hier.run(trace);
+    const RefHierarchyStats want =
+        refSimulateHierarchy(c.config, c.l2, trace);
+    std::string d = diffStats("Hierarchy.l1", want.l1, hier.stats().l1);
+    if (d.empty()) d = diffStats("Hierarchy.l2", want.l2, hier.stats().l2);
+    if (!d.empty()) return d;
+    if (want.mainReads != hier.stats().mainReads ||
+        want.mainWrites != hier.stats().mainWrites) {
+      std::ostringstream os;
+      os << "Hierarchy.main: oracle(reads=" << want.mainReads
+         << " writes=" << want.mainWrites
+         << ") actual(reads=" << hier.stats().mainReads
+         << " writes=" << hier.stats().mainWrites << ")";
+      return os.str();
+    }
+  }
+
+  // Path 5: set-sampling estimator. The estimator is exact relative to
+  // its own definition (filter + set compression + shrunk simulation),
+  // so the oracle's re-statement must agree to the last bit; only its
+  // relation to the full-trace miss rate is approximate (see
+  // docs/TESTING.md).
+  for (const std::uint32_t factor : {2u, 4u}) {
+    if (c.config.numSets() % factor != 0) continue;
+    const double got =
+        estimateMissRateBySetSampling(c.config, trace, factor);
+    const double want =
+        refEstimateMissRateBySetSampling(c.config, trace, factor);
+    if (got != want) {
+      std::ostringstream os;
+      os.precision(17);
+      os << "SetSampling factor=" << factor << ": oracle=" << want
+         << " actual=" << got;
+      return os.str();
+    }
+  }
+
+  return {};
+}
+
+}  // namespace
+
+DiffCase makeDiffCase(std::uint64_t seed) {
+  DiffCase c;
+  c.seed = seed;
+  c.config = randomCacheConfig(seed);
+  c.l2 = randomL2Config(c.config, seed);
+  c.trace = randomCheckTrace(seed);
+  return c;
+}
+
+DiffResult checkDiffCase(const DiffCase& c, std::size_t len) {
+  const Trace prefix = prefixOf(c.trace, len);
+  const std::string mismatch = diffAllPaths(c, prefix);
+  if (mismatch.empty()) return DiffResult{};
+  return DiffResult{false,
+                    diffCaseRepro(c, prefix.size()) + "\n  " + mismatch};
+}
+
+DiffResult replayDiffCase(std::uint64_t seed, std::size_t len) {
+  return checkDiffCase(makeDiffCase(seed), len);
+}
+
+DiffResult runDifferentialCase(std::uint64_t seed) {
+  const DiffCase c = makeDiffCase(seed);
+  DiffResult full = checkDiffCase(c, c.trace.size());
+  if (full.ok) return full;
+
+  // Shrink to the shortest failing prefix. Stats divergence is
+  // monotone in practice; if it is not for some case, `hi` still always
+  // indexes a failing prefix, so the repro stays valid.
+  std::size_t lo = 0;                  // passing
+  std::size_t hi = c.trace.size();     // failing
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (checkDiffCase(c, mid).ok) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return checkDiffCase(c, hi);
+}
+
+DiffSummary runDifferential(std::uint64_t firstSeed, std::size_t count) {
+  DiffSummary summary;
+  for (std::size_t i = 0; i < count; ++i) {
+    ++summary.casesRun;
+    const DiffResult r = runDifferentialCase(firstSeed + i);
+    if (!r.ok) summary.failures.push_back(r.message);
+  }
+  return summary;
+}
+
+}  // namespace memx

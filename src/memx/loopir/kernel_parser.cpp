@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <istream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -76,10 +77,17 @@ private:
       return;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      // Accumulate with an overflow guard: `v * 10 + d` on a huge
+      // literal is signed overflow (UB), so reject before it happens.
+      constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
       std::int64_t v = 0;
       while (pos_ < text_.size() &&
              std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) {
-        v = v * 10 + (text_[pos_] - '0');
+        const std::int64_t d = text_[pos_] - '0';
+        MEMX_EXPECTS(v <= (kMax - d) / 10,
+                     "kernel parse error (line " + std::to_string(line_) +
+                         "): integer literal too large");
+        v = v * 10 + d;
         ++pos_;
       }
       current_.kind = TokKind::Number;
@@ -177,6 +185,9 @@ private:
   }
 
   void parseLoop(Kernel& k, std::vector<Loop>& loops) {
+    // parseLoop recurses per nest level; cap the depth so adversarial
+    // input fails with a parse error instead of exhausting the stack.
+    if (loops.size() >= 64) lex_.fail("loop nest deeper than 64 levels");
     lex_.next();  // "for"
     Loop loop;
     loop.name = expectName();

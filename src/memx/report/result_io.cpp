@@ -1,5 +1,6 @@
 #include "memx/report/result_io.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <istream>
 #include <ostream>
@@ -75,6 +76,52 @@ std::vector<std::string> splitCsvLine(const std::string& line,
   return cells;
 }
 
+/// Strict unsigned parse: digits only, fully consumed, within `max`.
+/// stoul-style silent truncation (2^32 reading back as 0) and negative
+/// wraparound are exactly the corruptions a result file can carry, so
+/// they are hard errors with the row and column named.
+std::uint64_t parseUnsigned(const std::string& cell, std::uint64_t max,
+                            std::size_t lineNo, const char* column) {
+  const std::string where = "exploration-CSV row " +
+                            std::to_string(lineNo) + " column " + column;
+  MEMX_EXPECTS(!cell.empty() &&
+                   cell.find_first_not_of("0123456789") == std::string::npos,
+               where + ": not an unsigned integer");
+  // <= 20 digits always fits the stoull parse; reject earlier overflows.
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(cell, &pos);
+    MEMX_EXPECTS(pos == cell.size() && v <= max,
+                 where + ": value out of range");
+    return v;
+  } catch (const ContractViolation&) {
+    throw;
+  } catch (const std::exception&) {
+    detail::throwContract("precondition", "stoull", __FILE__, __LINE__,
+                          where + ": value out of range");
+  }
+}
+
+/// Strict double parse: fully consumed and finite ("1e999" and "nan"
+/// are rejected, not absorbed).
+double parseDouble(const std::string& cell, std::size_t lineNo,
+                   const char* column) {
+  const std::string where = "exploration-CSV row " +
+                            std::to_string(lineNo) + " column " + column;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(cell, &pos);
+    MEMX_EXPECTS(pos == cell.size() && std::isfinite(v),
+                 where + ": not a finite number");
+    return v;
+  } catch (const ContractViolation&) {
+    throw;
+  } catch (const std::exception&) {
+    detail::throwContract("precondition", "stod", __FILE__, __LINE__,
+                          where + ": not a finite number");
+  }
+}
+
 /// Escape the few JSON-special characters a workload name could contain.
 std::string jsonEscape(const std::string& s) {
   std::string out;
@@ -113,21 +160,21 @@ ExplorationResult readResultCsv(std::istream& is) {
                                         std::to_string(lineNo) +
                                         " has wrong column count");
     DesignPoint p;
-    try {
-      if (result.workload.empty()) result.workload = cells[0];
-      p.key.cacheBytes = static_cast<std::uint32_t>(std::stoul(cells[1]));
-      p.key.lineBytes = static_cast<std::uint32_t>(std::stoul(cells[2]));
-      p.key.associativity =
-          static_cast<std::uint32_t>(std::stoul(cells[3]));
-      p.key.tiling = static_cast<std::uint32_t>(std::stoul(cells[4]));
-      p.accesses = std::stoull(cells[5]);
-      p.missRate = std::stod(cells[6]);
-      p.cycles = std::stod(cells[7]);
-      p.energyNj = std::stod(cells[8]);
-    } catch (const std::exception&) {
-      MEMX_EXPECTS(false, "exploration-CSV row " + std::to_string(lineNo) +
-                              " has a malformed field");
-    }
+    if (result.workload.empty()) result.workload = cells[0];
+    constexpr std::uint64_t kU32 = 0xffffffffull;
+    constexpr std::uint64_t kU64 = ~0ull;
+    p.key.cacheBytes = static_cast<std::uint32_t>(
+        parseUnsigned(cells[1], kU32, lineNo, "cache"));
+    p.key.lineBytes = static_cast<std::uint32_t>(
+        parseUnsigned(cells[2], kU32, lineNo, "line"));
+    p.key.associativity = static_cast<std::uint32_t>(
+        parseUnsigned(cells[3], kU32, lineNo, "assoc"));
+    p.key.tiling = static_cast<std::uint32_t>(
+        parseUnsigned(cells[4], kU32, lineNo, "tiling"));
+    p.accesses = parseUnsigned(cells[5], kU64, lineNo, "accesses");
+    p.missRate = parseDouble(cells[6], lineNo, "miss_rate");
+    p.cycles = parseDouble(cells[7], lineNo, "cycles");
+    p.energyNj = parseDouble(cells[8], lineNo, "energy_nj");
     result.points.push_back(p);
   }
   return result;

@@ -1,0 +1,182 @@
+// Metamorphic property checks over the simulation and model stack.
+// Each property is an invariant the paper's pipeline must satisfy for
+// *every* input, checked here on seeded random workloads; see
+// docs/TESTING.md for the invariant list with paper-section references.
+#include <gtest/gtest.h>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/cachesim/miss_classifier.hpp"
+#include "memx/check/random_gen.hpp"
+#include "memx/core/explorer.hpp"
+#include "memx/core/parallel_explorer.hpp"
+#include "memx/energy/energy_model.hpp"
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/layout/offchip_assign.hpp"
+#include "memx/timing/cycle_model.hpp"
+
+namespace memx {
+namespace {
+
+class PropertySweep : public ::testing::TestWithParam<int> {
+protected:
+  [[nodiscard]] std::uint64_t seed() const {
+    return static_cast<std::uint64_t>(GetParam());
+  }
+};
+
+// --- Stack inclusion (Mattson): for LRU, a set's resident lines are a
+// superset of any narrower LRU set's, so at a fixed set count and line
+// size the miss count is monotone non-increasing in associativity.
+// (At fixed *capacity* T the property does not hold - halving the set
+// count changes the index mapping; docs/TESTING.md shows the classic
+// counterexample - so the harness states it the provable way.)
+TEST_P(PropertySweep, LruMissesMonotoneInAssociativityAtFixedSets) {
+  const Trace trace = randomCheckTrace(seed(), 300, 1200);
+  for (const std::uint32_t sets : {1u, 4u, 16u}) {
+    for (const std::uint32_t line : {8u, 16u}) {
+      std::uint64_t prev = ~std::uint64_t{0};
+      for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+        CacheConfig c;
+        c.lineBytes = line;
+        c.associativity = assoc;
+        c.sizeBytes = line * sets * assoc;
+        c.replacement = ReplacementPolicy::LRU;
+        const std::uint64_t misses = simulateTrace(c, trace).misses();
+        EXPECT_LE(misses, prev)
+            << "seed " << seed() << " sets=" << sets << " L=" << line
+            << " S=" << assoc;
+        prev = misses;
+      }
+    }
+  }
+}
+
+// Fully-associative LRU inclusion across capacities (the form the
+// paper's Section-3 working-set argument relies on).
+TEST_P(PropertySweep, FullyAssociativeLruMonotoneInCapacity) {
+  const Trace trace = randomCheckTrace(seed(), 300, 1200);
+  std::uint64_t prev = ~std::uint64_t{0};
+  for (const std::uint32_t size : {32u, 64u, 128u, 256u, 512u}) {
+    CacheConfig c;
+    c.sizeBytes = size;
+    c.lineBytes = 8;
+    c.associativity = c.numLines();
+    const std::uint64_t misses = simulateTrace(c, trace).misses();
+    EXPECT_LE(misses, prev) << "seed " << seed() << " C" << size;
+    prev = misses;
+  }
+}
+
+// --- Model sanity (paper Secs. 2.2-2.3): cycles and energy are
+// non-negative and additive over trace concatenation. Counters of a
+// continuous run split exactly at any point, and both models are linear
+// in (hits, misses), so model(whole) == model(first part) +
+// model(second part) up to floating-point rounding.
+CacheStats minusStats(const CacheStats& a, const CacheStats& b) {
+  CacheStats d;
+  d.reads = a.reads - b.reads;
+  d.writes = a.writes - b.writes;
+  d.readHits = a.readHits - b.readHits;
+  d.readMisses = a.readMisses - b.readMisses;
+  d.writeHits = a.writeHits - b.writeHits;
+  d.writeMisses = a.writeMisses - b.writeMisses;
+  d.lineFills = a.lineFills - b.lineFills;
+  d.writebacks = a.writebacks - b.writebacks;
+  d.memWrites = a.memWrites - b.memWrites;
+  return d;
+}
+
+TEST_P(PropertySweep, CycleAndEnergyModelsAdditiveOverConcatenation) {
+  const Trace trace = randomCheckTrace(seed(), 400, 1500);
+  const CacheConfig config = randomCacheConfig(seed());
+
+  // One continuous run, stats snapshotted at the split point.
+  CacheSim sim(config);
+  const std::size_t split = trace.size() / 3;
+  for (std::size_t i = 0; i < split; ++i) sim.access(trace[i]);
+  const CacheStats first = sim.stats();
+  for (std::size_t i = split; i < trace.size(); ++i) sim.access(trace[i]);
+  const CacheStats whole = sim.stats();
+  const CacheStats second = minusStats(whole, first);
+
+  const CycleModel cycles;
+  const double cWhole = cycles.cycles(whole, config);
+  const double cParts =
+      cycles.cycles(first, config) + cycles.cycles(second, config);
+  EXPECT_GE(cWhole, 0.0);
+  EXPECT_NEAR(cWhole, cParts, 1e-9 * (1.0 + cWhole)) << "seed " << seed();
+
+  const CacheEnergyModel energy(config, EnergyParams{},
+                                kDefaultAddrSwitchesPerAccess);
+  const double eWhole = energy.totalNj(whole);
+  const double eParts = energy.totalNj(first) + energy.totalNj(second);
+  EXPECT_GE(eWhole, 0.0);
+  EXPECT_NEAR(eWhole, eParts, 1e-9 * (1.0 + eWhole)) << "seed " << seed();
+
+  // The write-inclusive variant is additive too (it is a plain linear
+  // combination of the counters).
+  const double wWhole = energy.totalIncludingWritesNj(whole);
+  const double wParts = energy.totalIncludingWritesNj(first) +
+                        energy.totalIncludingWritesNj(second);
+  EXPECT_GE(wWhole, 0.0);
+  EXPECT_NEAR(wWhole, wParts, 1e-9 * (1.0 + wWhole)) << "seed " << seed();
+}
+
+// --- Paper Sec. 4.1: when the conflict-free assignment reports a
+// complete placement, the padded layout exhibits zero conflict misses.
+TEST_P(PropertySweep, CompletePaddingPlanKillsConflictMisses) {
+  const Kernel k = randomStencilKernel(seed());
+  for (const std::uint32_t size : {128u, 256u, 512u}) {
+    CacheConfig cache;
+    cache.sizeBytes = size;
+    cache.lineBytes = 8;
+    const AssignmentPlan plan = assignConflictFree(k, cache);
+    if (!plan.complete) continue;
+    const MissBreakdown b =
+        classifyMisses(cache, generateTrace(k, plan.layout));
+    EXPECT_EQ(b.conflict, 0u) << k.name << " C" << size;
+  }
+}
+
+// --- PR-1 engine contract: the shared-trace sweep, the parallel sweep
+// and the per-point reference path are bit-identical.
+TEST(Properties, ExploreParallelAndPerPointAreBitIdentical) {
+  ExploreOptions options;
+  options.ranges.onChipBytes = 256;
+  options.ranges.maxCacheBytes = 256;
+  options.ranges.minCacheBytes = 32;
+  options.ranges.maxLineBytes = 16;
+  options.ranges.maxAssociativity = 2;
+  options.ranges.maxTiling = 2;
+  const Kernel kernel = compressKernel(16);
+
+  const Explorer explorer(options);
+  const ExplorationResult serial = explorer.explore(kernel);
+  const ExplorationResult parallel =
+      exploreParallel(kernel, options, 4);
+
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  ASSERT_FALSE(serial.points.empty());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    const DesignPoint& s = serial.points[i];
+    const DesignPoint& p = parallel.points[i];
+    EXPECT_EQ(s.key, p.key);
+    EXPECT_EQ(s.accesses, p.accesses);
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(s.missRate, p.missRate) << s.label();
+    EXPECT_EQ(s.cycles, p.cycles) << s.label();
+    EXPECT_EQ(s.energyNj, p.energyNj) << s.label();
+
+    const DesignPoint one = explorer.evaluate(
+        kernel, explorer.configFor(s.key), s.key.tiling);
+    EXPECT_EQ(s.accesses, one.accesses) << s.label();
+    EXPECT_EQ(s.missRate, one.missRate) << s.label();
+    EXPECT_EQ(s.cycles, one.cycles) << s.label();
+    EXPECT_EQ(s.energyNj, one.energyNj) << s.label();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace memx

@@ -138,6 +138,69 @@ TEST(KernelParser, RejectsMalformedInput) {
       ContractViolation);  // trailing garbage
 }
 
+TEST(KernelParser, HugeIntegerLiteralRejectedWithLineNumber) {
+  // 2^63 does not fit int64; accumulating it is signed overflow, so the
+  // lexer must reject the literal before the arithmetic happens.
+  try {
+    (void)parseKernel(
+        "array a[8]\nfor i = 0 .. 9223372036854775808\n  a[i] = a[i]\n");
+    FAIL() << "expected a parse error";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("too large"), std::string::npos) << what;
+  }
+  // A 100-digit literal as an array extent.
+  EXPECT_THROW(
+      parseKernel("array a[" + std::string(100, '9') +
+                  "]\nfor i = 0 .. 3\n  a[i] = a[i]\n"),
+      ContractViolation);
+  // INT64_MAX itself still lexes (the guard is not off by one).
+  const Kernel k = parseKernel(
+      "array a[9223372036854775807]\nfor i = 0 .. 3\n  a[i] = a[i]\n");
+  EXPECT_EQ(k.arrays[0].extents[0], 9223372036854775807);
+}
+
+TEST(KernelParser, PathologicallyDeepNestFailsCleanly) {
+  // 500 nested loops must produce a parse error, not a stack overflow.
+  std::string text = "array a[4]\n";
+  for (int i = 0; i < 500; ++i) {
+    text += "for v" + std::to_string(i) + " = 0 .. 1\n";
+  }
+  text += "a[0] = a[0]\n";
+  try {
+    (void)parseKernel(text);
+    FAIL() << "expected a parse error";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("deeper than"),
+              std::string::npos);
+  }
+}
+
+TEST(KernelParser, FuzzerShapedInputsThrowInsteadOfCrashing) {
+  // None of these may crash, hang or UB; all must throw the contract
+  // error with a line number.
+  const char* cases[] = {
+      "\xff\xfe\xfd",
+      "for",
+      "for = ..",
+      "array\narray\narray",
+      "array a[1]]]]]\nfor i = 0 .. 1\n  a[0] = a[0]\n",
+      "array a[1]\nfor i = 0 .. 1\n  a[i] = 99999999999999999999 * a[i]\n",
+      "array a[1]\nfor i = 0 .. 1\n  a[i] = -\n",
+      "array a[1]\nfor i = 0 .. 1\n  a[i - ] = a[i]\n",
+      "array a[1] :\nfor i = 0 .. 1\n  a[i] = a[i]\n",
+      "array a[1]\nfor i = 0 ..\n",
+      "# only a comment",
+      "....",
+      "\"\"\"",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW((void)parseKernel(text), ContractViolation)
+        << "input: " << text;
+  }
+}
+
 TEST(KernelParser, CommentsAndWhitespaceTolerated) {
   const Kernel k = parseKernel(
       "# header\narray   a[4]   # decl\nfor i = 0 .. 3\n"

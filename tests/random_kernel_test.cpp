@@ -3,9 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
-#include <random>
 
 #include "memx/cachesim/miss_classifier.hpp"
+#include "memx/check/random_gen.hpp"
 #include "memx/layout/offchip_assign.hpp"
 #include "memx/loopir/ref_classes.hpp"
 #include "memx/loopir/trace_gen.hpp"
@@ -15,40 +15,10 @@
 namespace memx {
 namespace {
 
-/// A random 2-deep stencil kernel: 1-3 arrays, identity-ish accesses
-/// with offsets in [-1, +1], exactly one write.
+// The kernel generator lives in memx/check/random_gen.hpp so the
+// differential and metamorphic suites draw from the same distribution.
 Kernel randomKernel(std::uint64_t seed) {
-  std::mt19937_64 rng(seed);
-  auto pick = [&](int lo, int hi) {
-    return std::uniform_int_distribution<int>(lo, hi)(rng);
-  };
-
-  Kernel k;
-  k.name = "rnd" + std::to_string(seed);
-  const int nArrays = pick(1, 3);
-  const std::int64_t n = 8 * pick(2, 4);  // 16..32
-  const std::uint32_t elem = 1u << pick(0, 2);
-  for (int a = 0; a < nArrays; ++a) {
-    k.arrays.push_back(
-        ArrayDecl{"a" + std::to_string(a), {n + 2, n + 2}, elem});
-  }
-  k.nest = LoopNest::rectangular({{1, n}, {1, n}});
-
-  const int nAccesses = pick(2, 5);
-  for (int i = 0; i < nAccesses; ++i) {
-    const auto arrayIdx = static_cast<std::size_t>(pick(0, nArrays - 1));
-    const bool transposed = pick(0, 3) == 0;
-    AffineExpr s0 = transposed ? AffineExpr::var(1) : AffineExpr::var(0);
-    AffineExpr s1 = transposed ? AffineExpr::var(0) : AffineExpr::var(1);
-    s0 = s0.plusConstant(pick(-1, 1));
-    s1 = s1.plusConstant(pick(-1, 1));
-    k.body.push_back(makeAccess(arrayIdx, {s0, s1}));
-  }
-  // Exactly one write, to array 0 at (i, j).
-  k.body.push_back(makeAccess(0, {AffineExpr::var(0), AffineExpr::var(1)},
-                              AccessType::Write));
-  k.validate();
-  return k;
+  return randomStencilKernel(seed);
 }
 
 std::map<std::uint64_t, std::size_t> addrMultiset(const Trace& t) {

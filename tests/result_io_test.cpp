@@ -54,6 +54,61 @@ TEST(ResultIo, CsvBadFieldChecked) {
   EXPECT_THROW(fromCsvString(bad), ContractViolation);
 }
 
+TEST(ResultIo, TruncatedFileRejected) {
+  const std::string good = toCsvString(sampleResult());
+  // Cut at the last comma: the final line loses a column and must be
+  // rejected, not silently absorbed as a shorter sweep.
+  const std::string truncated = good.substr(0, good.rfind(','));
+  EXPECT_THROW(fromCsvString(truncated), ContractViolation);
+  // Header-only is a valid empty result, half a header is not.
+  EXPECT_THROW(fromCsvString(good.substr(0, 10)), ContractViolation);
+}
+
+TEST(ResultIo, NumericRangeViolationsRejected) {
+  const std::string header = toCsvString(ExplorationResult{});
+  auto row = [&](const std::string& r) { return header + r + "\n"; };
+  // 2^32 does not fit the uint32 cache field: stoul would silently
+  // truncate this to 0; the reader must refuse instead.
+  EXPECT_THROW(fromCsvString(row("k,4294967296,8,1,1,10,0.1,100,50")),
+               ContractViolation);
+  // Negative values wrap under stoul; unsigned columns take digits only.
+  EXPECT_THROW(fromCsvString(row("k,-64,8,1,1,10,0.1,100,50")),
+               ContractViolation);
+  // Trailing garbage after a number is corruption, not a number.
+  EXPECT_THROW(fromCsvString(row("k,64x,8,1,1,10,0.1,100,50")),
+               ContractViolation);
+  EXPECT_THROW(fromCsvString(row("k,64,8,1,1,10,0.1junk,100,50")),
+               ContractViolation);
+  // Out-of-range and non-finite doubles.
+  EXPECT_THROW(fromCsvString(row("k,64,8,1,1,10,0.1,1e999,50")),
+               ContractViolation);
+  EXPECT_THROW(fromCsvString(row("k,64,8,1,1,10,nan,100,50")),
+               ContractViolation);
+  EXPECT_THROW(fromCsvString(row("k,64,8,1,1,10,inf,100,50")),
+               ContractViolation);
+  // Empty numeric cell.
+  EXPECT_THROW(fromCsvString(row("k,,8,1,1,10,0.1,100,50")),
+               ContractViolation);
+  // The same values in range parse fine (the guards are not overeager).
+  const ExplorationResult ok =
+      fromCsvString(row("k,4294967295,8,1,1,10,0.1,100,50"));
+  ASSERT_EQ(ok.points.size(), 1u);
+  EXPECT_EQ(ok.points[0].key.cacheBytes, 4294967295u);
+}
+
+TEST(ResultIo, RangeErrorsNameRowAndColumn) {
+  const std::string header = toCsvString(ExplorationResult{});
+  try {
+    (void)fromCsvString(header + "k,64,8,1,1,10,0.1,100,50\n" +
+                        "k,4294967296,8,1,1,10,0.1,100,50\n");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("cache"), std::string::npos) << what;
+  }
+}
+
 TEST(ResultIo, WorkloadWithCommaRoundTrips) {
   ExplorationResult r;
   r.workload = "mpeg, decode \"fast\"";

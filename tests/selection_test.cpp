@@ -98,6 +98,63 @@ TEST(Selection, TieBreakPrefersFewerCyclesThenSmallerKey) {
   EXPECT_EQ(p->key.cacheBytes, 32u);
 }
 
+TEST(Selection, MinCycleTieBreakPrefersLowerEnergyThenSmallerKey) {
+  const std::vector<DesignPoint> ties = {pt(128, 4000, 1200),
+                                         pt(64, 4000, 1000),
+                                         pt(32, 4000, 1000)};
+  const auto p = minCyclePoint(ties);
+  ASSERT_TRUE(p.has_value());
+  // 128 loses on energy; 64 vs 32 tie fully, the smaller key wins.
+  EXPECT_EQ(p->key.cacheBytes, 32u);
+}
+
+TEST(Selection, EnergyBoundIsInclusiveAtTheBoundary) {
+  // A bound equal to the frugal point's energy keeps it feasible; a
+  // bound one ulp-ish below it does not.
+  const auto at = minCyclePoint(kPoints, 3000.0);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(at->key.cacheBytes, 16u);
+  EXPECT_FALSE(minCyclePoint(kPoints, 2999.999).has_value());
+}
+
+TEST(Selection, CycleBoundJustBelowFastestIsInfeasible) {
+  EXPECT_FALSE(minEnergyPoint(kPoints, 3999.999).has_value());
+  const auto at = minEnergyPoint(kPoints, 4000.0);
+  ASSERT_TRUE(at.has_value());
+  EXPECT_EQ(at->key.cacheBytes, 256u);
+}
+
+TEST(Selection, BestUnderBoundsWithSingleOrNoBound) {
+  // Only a cycle bound: behaves like minEnergyPoint under that bound.
+  const auto cycOnly = bestUnderBounds(kPoints, 5000.0, std::nullopt);
+  ASSERT_TRUE(cycOnly.has_value());
+  EXPECT_EQ(cycOnly->key, minEnergyPoint(kPoints, 5000.0)->key);
+  // Only an energy bound: min energy among the feasible ones - kPoints'
+  // global optimum is also the cheapest, so it survives its own bound.
+  const auto enOnly = bestUnderBounds(kPoints, std::nullopt, 3000.0);
+  ASSERT_TRUE(enOnly.has_value());
+  EXPECT_EQ(enOnly->key.cacheBytes, 16u);
+  // No bounds at all: the global energy optimum.
+  const auto none = bestUnderBounds(kPoints, std::nullopt, std::nullopt);
+  ASSERT_TRUE(none.has_value());
+  EXPECT_EQ(none->key, minEnergyPoint(kPoints)->key);
+}
+
+TEST(Selection, MinEdpTieBreakPrefersLowerEnergyThenSmallerKey) {
+  // Equal EDP (2000*1000 == 1000*2000): the lower-energy point wins.
+  const std::vector<DesignPoint> ties = {pt(32, 1000, 2000),
+                                         pt(64, 2000, 1000)};
+  const auto p = minEdpPoint(ties);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->key.cacheBytes, 64u);
+  // Fully tied points fall back to the smaller key.
+  const std::vector<DesignPoint> equal = {pt(128, 1500, 1500),
+                                          pt(16, 1500, 1500)};
+  const auto q = minEdpPoint(equal);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->key.cacheBytes, 16u);
+}
+
 TEST(Selection, ParetoFrontSortedWhenEqualCycles) {
   const std::vector<DesignPoint> pts = {pt(16, 4000, 900),
                                         pt(32, 4000, 800)};
