@@ -1,9 +1,13 @@
 // Sweep-engine speed check: the full Compress sweep on the reference
 // per-point path (Explorer::evaluate per sweep key, regenerating the
 // trace every time) versus the shared-trace one-pass engine (explore()
-// and exploreParallel()). Asserts all three produce bit-identical
-// DesignPoint vectors, then writes BENCH_sweep.json with points/sec of
-// each path and the speedup. Exits nonzero on any mismatch.
+// and exploreParallel()), plus an instrumented parallel run with an
+// obs::Recorder attached to measure the observability layer's overhead
+// (budget: < 5%). Asserts every path produces bit-identical DesignPoint
+// vectors, then writes BENCH_sweep_speed.json with points/sec of each
+// path, the speedup, the sink overhead, and the full RunReport, and
+// BENCH_sweep_trace.json with the chrome://tracing worker timeline.
+// Exits nonzero on any mismatch.
 //
 // This is a plain main (no google-benchmark): the determinism check is
 // the point, and each path is simply timed best-of-kReps (every rep does
@@ -114,10 +118,29 @@ int main() {
     parPts = std::move(r.points);
   }
 
+  // Instrumented parallel run: recorder attached, fresh per rep so the
+  // kept report describes exactly one run. The timing difference against
+  // the uninstrumented parallel path is the observability overhead.
+  double obsSec = 1e30;
+  std::vector<DesignPoint> obsPts;
+  memx::obs::RunReport report;
+  for (int rep = 0; rep < kReps; ++rep) {
+    memx::obs::Recorder recorder;
+    Explorer observed = grid;
+    observed.setRecorder(&recorder);
+    const auto t0 = std::chrono::steady_clock::now();
+    ExplorationResult r = memx::exploreParallel(observed, kernel);
+    obsSec = std::min(obsSec, seconds(t0, std::chrono::steady_clock::now()));
+    obsPts = std::move(r.points);
+    report = recorder.report();
+  }
+
   const bool ok = identical(baseline, sharedPts, "explore") &&
-                  identical(baseline, parPts, "exploreParallel");
+                  identical(baseline, parPts, "exploreParallel") &&
+                  identical(baseline, obsPts, "exploreParallel+recorder");
   const double n = static_cast<double>(keys.size());
   const double speedup = baseSec / sharedSec;
+  const double overheadPct = 100.0 * (obsSec - parSec) / parSec;
 
   std::printf("per-point baseline : %8.3f s  (%9.1f points/s)\n", baseSec,
               n / baseSec);
@@ -125,18 +148,25 @@ int main() {
               sharedSec, n / sharedSec, speedup);
   std::printf("shared-trace para. : %8.3f s  (%9.1f points/s)  %.2fx\n",
               parSec, n / parSec, baseSec / parSec);
+  std::printf("para. + report sink: %8.3f s  (%9.1f points/s)  %+.1f%% overhead\n",
+              obsSec, n / obsSec, overheadPct);
   std::printf("bit-identical      : %s\n", ok ? "yes" : "NO");
 
-  std::ofstream json("BENCH_sweep.json");
+  std::ofstream json("BENCH_sweep_speed.json");
   json << "{\"workload\": \"" << kernel.name << "\", \"points\": "
        << keys.size() << ", \"per_point_seconds\": " << baseSec
        << ", \"shared_seconds\": " << sharedSec
        << ", \"parallel_seconds\": " << parSec
+       << ", \"instrumented_seconds\": " << obsSec
        << ", \"per_point_points_per_sec\": " << n / baseSec
        << ", \"shared_points_per_sec\": " << n / sharedSec
        << ", \"parallel_points_per_sec\": " << n / parSec
-       << ", \"speedup\": " << speedup << ", \"identical\": "
-       << (ok ? "true" : "false") << "}\n";
+       << ", \"instrumented_points_per_sec\": " << n / obsSec
+       << ", \"speedup\": " << speedup
+       << ", \"sink_overhead_pct\": " << overheadPct
+       << ", \"identical\": " << (ok ? "true" : "false");
+  memx::bench::emitRunReport(report, json, "BENCH_sweep_trace.json");
+  json << "}\n";
 
   return ok ? 0 : 1;
 }

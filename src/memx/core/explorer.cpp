@@ -8,6 +8,7 @@
 #include "memx/cachesim/multi_sim.hpp"
 #include "memx/layout/offchip_assign.hpp"
 #include "memx/loopir/trace_gen.hpp"
+#include "memx/obs/recorder.hpp"
 #include "memx/util/assert.hpp"
 #include "memx/util/bits.hpp"
 #include "memx/util/pow2_range.hpp"
@@ -34,14 +35,28 @@ const DesignPoint& ExplorationResult::at(const ConfigKey& key) const {
   return *p;
 }
 
-const DesignPoint* ExplorationResult::find(
-    const ConfigKey& key) const noexcept {
-  if (index_.size() != points.size()) rebuildIndex();
-  const auto it = std::lower_bound(
-      index_.begin(), index_.end(), key,
-      [](const std::pair<ConfigKey, std::size_t>& entry,
-         const ConfigKey& k) { return entry.first < k; });
+const DesignPoint* ExplorationResult::find(const ConfigKey& key) const {
+  if (!indexBuilt_ || indexedGeneration_ != generation_ ||
+      index_.size() != points.size()) {
+    rebuildIndex();
+  }
+  const auto lookup = [&]() {
+    return std::lower_bound(
+        index_.begin(), index_.end(), key,
+        [](const std::pair<ConfigKey, std::size_t>& entry,
+           const ConfigKey& k) { return entry.first < k; });
+  };
+  auto it = lookup();
   if (it == index_.end() || it->first != key) return nullptr;
+  // Last line of defense against an in-place key rewrite that skipped
+  // invalidateIndex(): the entry must still describe its point. A
+  // mismatch means the index is stale — rebuild once and retry rather
+  // than returning a point whose key is not `key`.
+  if (points[it->second].key != key) {
+    rebuildIndex();
+    it = lookup();
+    if (it == index_.end() || it->first != key) return nullptr;
+  }
   return &points[it->second];
 }
 
@@ -52,6 +67,8 @@ void ExplorationResult::rebuildIndex() const {
     index_.emplace_back(points[i].key, i);
   }
   std::sort(index_.begin(), index_.end());
+  indexedGeneration_ = generation_;
+  indexBuilt_ = true;
 }
 
 Explorer::Explorer(ExploreOptions options)
@@ -67,7 +84,11 @@ const MemoryLayout& Explorer::layoutFor(const Kernel& kernel,
   const std::string key =
       kernel.name + '|' + cache.label() + "|B" + std::to_string(tiling);
   const auto it = layoutCache_.find(key);
-  if (it != layoutCache_.end()) return it->second;
+  if (it != layoutCache_.end()) {
+    if (recorder_ != nullptr) recorder_->counter("layout.cache_hit").add();
+    return it->second;
+  }
+  if (recorder_ != nullptr) recorder_->counter("layout.cache_miss").add();
   MemoryLayout layout =
       options_.optimizeLayout
           ? assignConflictFree(kernel, cache, 0, tiledProbe).layout
@@ -111,6 +132,7 @@ DesignPoint Explorer::makePoint(const CacheConfig& config,
 DesignPoint Explorer::evaluate(const Kernel& kernel,
                                const CacheConfig& cache,
                                std::uint32_t tiling) const {
+  const obs::ScopedSpan span(recorder_, "evaluate.point");
   cache.validate();
   MEMX_EXPECTS(tiling >= 1, "tiling size must be at least 1");
 
@@ -167,7 +189,9 @@ std::vector<ConfigKey> Explorer::sweepKeys() const {
 
 SweepPlan Explorer::planSweep(const Kernel& kernel,
                               std::vector<ConfigKey> keys) const {
+  const obs::ScopedSpan span(recorder_, "planSweep");
   SweepPlan plan;
+  plan.generation = cacheGeneration_;
   plan.keys = std::move(keys);
   // Tiled variants used only to certify layouts; the trace-generating
   // tiling happens later, once per pattern.
@@ -200,10 +224,15 @@ SweepPlan Explorer::planSweep(const Kernel& kernel,
     const auto [it, inserted] =
         groupIndex.try_emplace(traceKey, plan.groups.size());
     if (inserted) {
-      plan.groups.push_back(
-          SweepPlan::Group{traceTiling, traceKey, &layout, {}});
+      plan.groups.push_back(SweepPlan::Group{traceTiling, traceKey,
+                                             &layout, {},
+                                             cacheGeneration_});
     }
     plan.groups[it->second].keyIndices.push_back(i);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->counter("plan.keys").add(plan.keys.size());
+    recorder_->counter("plan.groups").add(plan.groups.size());
   }
   return plan;
 }
@@ -211,21 +240,37 @@ SweepPlan Explorer::planSweep(const Kernel& kernel,
 Trace Explorer::buildGroupTrace(const Kernel& kernel,
                                 const SweepPlan::Group& group,
                                 PatternCache& patterns) const {
+  MEMX_EXPECTS(group.generation == cacheGeneration_,
+               "stale SweepPlan: Explorer::clearCaches() invalidated this "
+               "plan's layout pointers; re-plan with planSweep()");
+  const obs::ScopedSpan span(recorder_, "trace.build");
   auto it = patterns.find(group.traceTiling);
   if (it == patterns.end()) {
+    if (recorder_ != nullptr) recorder_->counter("pattern.cache_miss").add();
     AccessPattern pattern =
         group.traceTiling > 1
             ? generateAccessPattern(tile2D(kernel, group.traceTiling))
             : generateAccessPattern(kernel);
     it = patterns.emplace(group.traceTiling, std::move(pattern)).first;
+  } else if (recorder_ != nullptr) {
+    recorder_->counter("pattern.cache_hit").add();
   }
-  return materializeTrace(it->second, *group.layout);
+  Trace trace = materializeTrace(it->second, *group.layout);
+  if (recorder_ != nullptr) {
+    recorder_->counter("trace.accesses").add(trace.size());
+    recorder_->counter("trace.bytes").add(trace.size() * sizeof(MemRef));
+  }
+  return trace;
 }
 
 void Explorer::evaluateGroup(const SweepPlan::Group& group,
                              const Trace& trace, double addrActivity,
                              const std::vector<ConfigKey>& keys,
                              std::vector<DesignPoint>& out) const {
+  MEMX_EXPECTS(group.generation == cacheGeneration_,
+               "stale SweepPlan: Explorer::clearCaches() invalidated this "
+               "plan's layout pointers; re-plan with planSweep()");
+  const obs::ScopedSpan span(recorder_, "group.evaluate");
   std::vector<CacheConfig> configs;
   configs.reserve(group.keyIndices.size());
   for (const std::size_t idx : group.keyIndices) {
@@ -238,6 +283,12 @@ void Explorer::evaluateGroup(const SweepPlan::Group& group,
     out[idx] =
         makePoint(configs[j], keys[idx].tiling, bank.stats(j), addrActivity);
   }
+  if (recorder_ != nullptr) {
+    recorder_->counter("sweep.groups").add();
+    recorder_->counter("sweep.points").add(group.keyIndices.size());
+    recorder_->counter("sim.accesses")
+        .add(trace.size() * group.keyIndices.size());
+  }
 }
 
 const Explorer::TraceEntry& Explorer::traceFor(
@@ -245,15 +296,21 @@ const Explorer::TraceEntry& Explorer::traceFor(
     PatternCache& patterns) const {
   auto it = traceCache_.find(group.traceKey);
   if (it == traceCache_.end()) {
+    if (recorder_ != nullptr) recorder_->counter("trace.cache_miss").add();
     TraceEntry entry;
     entry.trace = buildGroupTrace(kernel, group, patterns);
     entry.addrActivity = addrActivityFor(entry.trace);
     it = traceCache_.emplace(group.traceKey, std::move(entry)).first;
+  } else if (recorder_ != nullptr) {
+    recorder_->counter("trace.cache_hit").add();
+    recorder_->counter("trace.cache_hit_bytes")
+        .add(it->second.trace.size() * sizeof(MemRef));
   }
   return it->second;
 }
 
 ExplorationResult Explorer::explore(const Kernel& kernel) const {
+  const obs::ScopedSpan span(recorder_, "explore");
   const SweepPlan plan = planSweep(kernel, sweepKeys());
   ExplorationResult result;
   result.workload = kernel.name;
@@ -270,6 +327,7 @@ ExplorationResult Explorer::explore(const Kernel& kernel) const {
 void Explorer::clearCaches() noexcept {
   layoutCache_.clear();
   traceCache_.clear();
+  ++cacheGeneration_;
 }
 
 std::size_t Explorer::traceCacheBytes() const noexcept {

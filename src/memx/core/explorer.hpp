@@ -38,6 +38,10 @@
 
 namespace memx {
 
+namespace obs {
+class Recorder;
+}  // namespace obs
+
 /// Power-of-two sweep bounds of the MemExplore loops.
 struct ExploreRanges {
   std::uint32_t onChipBytes = 1024;   ///< M: upper limit on cache size
@@ -79,11 +83,19 @@ struct ExplorationResult {
   /// Point with the given key; throws when the sweep did not visit it.
   [[nodiscard]] const DesignPoint& at(const ConfigKey& key) const;
   /// Point with the given key, if visited. Backed by a lazily built
-  /// sorted index (rebuilt whenever `points` changed size), so repeated
-  /// lookups over a full sweep are O(log n) instead of a linear scan.
-  /// Mutating a point's key in place without changing the vector's size
-  /// leaves the index stale; append/remove to trigger a rebuild.
-  [[nodiscard]] const DesignPoint* find(const ConfigKey& key) const noexcept;
+  /// sorted index, so repeated lookups over a full sweep are O(log n)
+  /// instead of a linear scan. Not noexcept: the rebuild allocates.
+  /// The index is rebuilt when `points` changed size, when
+  /// invalidateIndex() was called, or when the indexed entry no longer
+  /// matches its point (in-place key mutation is detected on lookup
+  /// rather than silently returning the wrong point).
+  [[nodiscard]] const DesignPoint* find(const ConfigKey& key) const;
+
+  /// Declare the index stale after mutating `points` in place (for
+  /// example rewriting a point's key). Size changes are picked up
+  /// automatically; same-size mutations need this call so the next
+  /// find() rebuilds instead of consulting stale entries.
+  void invalidateIndex() noexcept { ++generation_; }
 
 private:
   void rebuildIndex() const;
@@ -91,13 +103,21 @@ private:
   /// (key, position) pairs sorted lexicographically; duplicate keys keep
   /// their points order so find() returns the first occurrence.
   mutable std::vector<std::pair<ConfigKey, std::size_t>> index_;
+  /// Bumped by invalidateIndex(); the index remembers the generation it
+  /// was built at and rebuilds on mismatch.
+  std::uint64_t generation_ = 0;
+  mutable std::uint64_t indexedGeneration_ = 0;
+  mutable bool indexBuilt_ = false;
 };
 
 /// A sweep restructured for shared-trace evaluation: the key grid plus
 /// its partition into trace groups. All keys of one group share a tiling
 /// and a memory layout, hence one reference trace. Group layout pointers
 /// alias the owning Explorer's layout memo: a plan stays valid until
-/// that Explorer is destroyed or clearCaches() is called.
+/// that Explorer is destroyed or clearCaches() is called. Plans carry
+/// the layout-memo generation they were stamped with at planSweep time;
+/// using a group after clearCaches() fails the generation check with a
+/// ContractViolation instead of dereferencing a dangling layout.
 struct SweepPlan {
   struct Group {
     /// Tiling applied to the loop nest for this group's trace (1 when
@@ -107,10 +127,14 @@ struct SweepPlan {
     std::string traceKey;
     const MemoryLayout* layout = nullptr;
     std::vector<std::size_t> keyIndices;  ///< indices into `keys`
+    /// Layout-memo generation at planning time; checked by
+    /// buildGroupTrace/evaluateGroup against the owning Explorer.
+    std::uint64_t generation = 0;
   };
 
   std::vector<ConfigKey> keys;
   std::vector<Group> groups;
+  std::uint64_t generation = 0;  ///< same stamp, plan-level
 };
 
 /// Drives the sweep and evaluates individual design points.
@@ -163,13 +187,27 @@ public:
   /// CacheConfig for a sweep key with this run's policies applied.
   [[nodiscard]] CacheConfig configFor(const ConfigKey& key) const;
 
-  /// Drop the memoized layouts and traces (invalidates outstanding
-  /// SweepPlans). The caches only ever grow otherwise; see
-  /// traceCacheBytes() for the footprint.
+  /// Drop the memoized layouts and traces and bump the cache
+  /// generation: outstanding SweepPlans become stale and every
+  /// buildGroupTrace/evaluateGroup call on them throws a
+  /// ContractViolation (re-plan with planSweep() to continue). The
+  /// caches only ever grow otherwise; see traceCacheBytes() for the
+  /// footprint.
   void clearCaches() noexcept;
 
   /// Approximate heap footprint of the trace cache in bytes.
   [[nodiscard]] std::size_t traceCacheBytes() const noexcept;
+
+  /// Attach an observability recorder (nullptr detaches). Not owned;
+  /// must outlive every exploration call made through this Explorer.
+  /// With no recorder attached every instrumentation site reduces to a
+  /// single null check; results are bit-identical either way.
+  void setRecorder(obs::Recorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  [[nodiscard]] obs::Recorder* recorder() const noexcept {
+    return recorder_;
+  }
 
   [[nodiscard]] const ExploreOptions& options() const noexcept {
     return options_;
@@ -205,8 +243,12 @@ private:
 
   ExploreOptions options_;
   CycleModel cycleModel_;
+  obs::Recorder* recorder_ = nullptr;
   mutable std::map<std::string, MemoryLayout> layoutCache_;
   mutable std::map<std::string, TraceEntry> traceCache_;
+  /// Bumped by clearCaches(); plans stamped with an older generation
+  /// are rejected before their dangling layout pointers can be read.
+  mutable std::uint64_t cacheGeneration_ = 0;
 };
 
 }  // namespace memx

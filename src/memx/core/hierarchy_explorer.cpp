@@ -4,6 +4,7 @@
 
 #include "memx/cachesim/bus_monitor.hpp"
 #include "memx/energy/energy_model.hpp"
+#include "memx/obs/recorder.hpp"
 #include "memx/util/assert.hpp"
 #include "memx/util/bits.hpp"
 #include "memx/util/pow2_range.hpp"
@@ -69,7 +70,9 @@ HierarchyPoint evaluateHierarchyPoint(const Trace& trace,
 std::vector<HierarchyPoint> exploreHierarchy(const Trace& trace,
                                              const HierarchyRanges& ranges,
                                              const EnergyParams& energy,
-                                             const HierarchyTiming& timing) {
+                                             const HierarchyTiming& timing,
+                                             obs::Recorder* recorder) {
+  const obs::ScopedSpan span(recorder, "exploreHierarchy");
   ranges.validate();
   // One trace walk for the bus activity; every point below reuses it.
   const double addBs = measureAddrActivity(trace);
@@ -86,9 +89,15 @@ std::vector<HierarchyPoint> exploreHierarchy(const Trace& trace,
       l2.sizeBytes = static_cast<std::uint32_t>(s2);
       l2.lineBytes = ranges.l2LineBytes;
       l2.associativity = ranges.l2Associativity;
+      const obs::ScopedSpan pointSpan(recorder, "hierarchy.point");
       points.push_back(
           evaluateHierarchyPoint(trace, l1, l2, energy, timing, addBs));
     }
+  }
+  if (recorder != nullptr) {
+    recorder->counter("hierarchy.points").add(points.size());
+    recorder->counter("hierarchy.accesses")
+        .add(trace.size() * points.size());
   }
   return points;
 }

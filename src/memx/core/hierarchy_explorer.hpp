@@ -18,6 +18,10 @@
 
 namespace memx {
 
+namespace obs {
+class Recorder;
+}  // namespace obs
+
 /// One evaluated (L1, L2) pair.
 struct HierarchyPoint {
   CacheConfig l1;
@@ -55,9 +59,13 @@ struct HierarchyRanges {
     const EnergyParams& energy, const HierarchyTiming& timing,
     double addBs);
 
-/// Sweep every valid (L1, L2) pair (L2 >= L1) over `trace`.
+/// Sweep every valid (L1, L2) pair (L2 >= L1) over `trace`. `recorder`
+/// (optional) collects an "exploreHierarchy" span, per-point
+/// "hierarchy.point" spans, and hierarchy.points / hierarchy.accesses
+/// counters; results are identical with or without it.
 [[nodiscard]] std::vector<HierarchyPoint> exploreHierarchy(
     const Trace& trace, const HierarchyRanges& ranges,
-    const EnergyParams& energy = {}, const HierarchyTiming& timing = {});
+    const EnergyParams& energy = {}, const HierarchyTiming& timing = {},
+    obs::Recorder* recorder = nullptr);
 
 }  // namespace memx

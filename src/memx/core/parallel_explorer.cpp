@@ -5,6 +5,8 @@
 #include <thread>
 #include <vector>
 
+#include "memx/obs/recorder.hpp"
+
 namespace memx {
 
 ExplorationResult exploreParallel(const Kernel& kernel,
@@ -16,6 +18,8 @@ ExplorationResult exploreParallel(const Kernel& kernel,
 
 ExplorationResult exploreParallel(const Explorer& grid, const Kernel& kernel,
                                   unsigned threads) {
+  obs::Recorder* const recorder = grid.recorder();
+  const obs::ScopedSpan total(recorder, "exploreParallel");
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -25,6 +29,9 @@ ExplorationResult exploreParallel(const Explorer& grid, const Kernel& kernel,
   threads = std::min<unsigned>(
       threads, static_cast<unsigned>(std::max<std::size_t>(
                    1, plan.groups.size())));
+  if (recorder != nullptr) {
+    recorder->counter("parallel.workers").add(threads);
+  }
 
   std::vector<DesignPoint> points(plan.keys.size());
   std::atomic<std::size_t> nextGroup{0};
@@ -38,12 +45,20 @@ ExplorationResult exploreParallel(const Explorer& grid, const Kernel& kernel,
       // once per distinct tiling per worker, traces once per group.
       Explorer::PatternCache patterns;
       try {
+        // One span per worker covering its whole queue drain: the
+        // exported timeline shows each worker's share of the group
+        // queue, and the report folds these into per-worker busy time
+        // and utilization.
+        const obs::ScopedSpan drain(recorder, "worker.drain");
         for (;;) {
           const std::size_t g =
               nextGroup.fetch_add(1, std::memory_order_relaxed);
           if (g >= plan.groups.size() ||
               failed.load(std::memory_order_relaxed)) {
             break;
+          }
+          if (recorder != nullptr) {
+            recorder->counter("parallel.groups_claimed").add();
           }
           const SweepPlan::Group& group = plan.groups[g];
           const Trace trace = grid.buildGroupTrace(kernel, group, patterns);

@@ -1,41 +1,61 @@
 #include "memx/core/sensitivity.hpp"
 
+#include <sstream>
+
+#include "memx/core/parallel_explorer.hpp"
+#include "memx/obs/recorder.hpp"
 #include "memx/util/assert.hpp"
 
 namespace memx {
 
+SensitivityRow summarizeSweep(double value,
+                              const ExplorationResult& result) {
+  const auto minE = minEnergyPoint(result.points);
+  const auto minC = minCyclePoint(result.points);
+  if (!minE.has_value() || !minC.has_value()) {
+    std::ostringstream os;
+    os << "sensitivity sweep produced no design points at parameter value "
+       << value
+       << (result.workload.empty() ? std::string()
+                                   : " (workload " + result.workload + ")");
+    throw EmptySweepError(os.str());
+  }
+  SensitivityRow row;
+  row.parameterValue = value;
+  row.minEnergyKey = minE->key;
+  row.minEnergyNj = minE->energyNj;
+  row.minCycleKey = minC->key;
+  row.minCycles = minC->cycles;
+  return row;
+}
+
 std::vector<SensitivityRow> sweepSensitivity(
     const Kernel& kernel, std::span<const double> values,
-    const OptionsMutator& mutator, const ExploreOptions& base) {
+    const OptionsMutator& mutator, const ExploreOptions& base,
+    obs::Recorder* recorder, unsigned threads) {
   MEMX_EXPECTS(static_cast<bool>(mutator), "mutator must be callable");
   std::vector<SensitivityRow> rows;
   rows.reserve(values.size());
   for (const double v : values) {
+    const obs::ScopedSpan span(recorder, "sensitivity.value");
     ExploreOptions options = base;
     mutator(options, v);
-    const Explorer explorer(options);
-    const ExplorationResult result = explorer.explore(kernel);
-    const auto minE = minEnergyPoint(result.points);
-    const auto minC = minCyclePoint(result.points);
-    MEMX_ENSURES(minE.has_value() && minC.has_value(),
-                 "exploration produced no points");
-    SensitivityRow row;
-    row.parameterValue = v;
-    row.minEnergyKey = minE->key;
-    row.minEnergyNj = minE->energyNj;
-    row.minCycleKey = minC->key;
-    row.minCycles = minC->cycles;
-    rows.push_back(row);
+    Explorer explorer(options);
+    explorer.setRecorder(recorder);
+    rows.push_back(
+        summarizeSweep(v, exploreParallel(explorer, kernel, threads)));
   }
   return rows;
 }
 
 std::vector<SensitivityRow> sweepEmSensitivity(
     const Kernel& kernel, std::span<const double> emValues,
-    const ExploreOptions& base) {
+    const ExploreOptions& base, obs::Recorder* recorder,
+    unsigned threads) {
   return sweepSensitivity(
       kernel, emValues,
-      [](ExploreOptions& o, double em) { o.energy.emNj = em; }, base);
+      [](ExploreOptions& o, double em) { o.energy.emNj = em; }, base,
+      recorder, threads);
 }
 
 bool selectionStable(std::span<const SensitivityRow> rows) {

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,17 @@
 #include "memx/core/selection.hpp"
 
 namespace memx {
+
+namespace obs {
+class Recorder;
+}  // namespace obs
+
+/// Thrown when one sweep of a sensitivity analysis produced no design
+/// points; the message names the offending parameter value.
+class EmptySweepError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One row of a sensitivity sweep.
 struct SensitivityRow {
@@ -29,16 +41,28 @@ struct SensitivityRow {
 /// Applies one parameter value to the exploration options.
 using OptionsMutator = std::function<void(ExploreOptions&, double)>;
 
+/// Fold one finished exploration into a sensitivity row. Throws
+/// EmptySweepError naming `value` when `result` holds no points.
+[[nodiscard]] SensitivityRow summarizeSweep(double value,
+                                            const ExplorationResult& result);
+
 /// Re-explore `kernel` for every value in `values`, mutating a copy of
-/// `base` through `mutator` each time.
+/// `base` through `mutator` each time. Each value's sweep runs on the
+/// parallel shared-trace engine (`threads` as in exploreParallel; 0 =
+/// hardware concurrency). A sweep yielding no points raises
+/// EmptySweepError naming the parameter value. `recorder` (optional)
+/// observes every per-value exploration plus a "sensitivity.value"
+/// span per row.
 [[nodiscard]] std::vector<SensitivityRow> sweepSensitivity(
     const Kernel& kernel, std::span<const double> values,
-    const OptionsMutator& mutator, const ExploreOptions& base = {});
+    const OptionsMutator& mutator, const ExploreOptions& base = {},
+    obs::Recorder* recorder = nullptr, unsigned threads = 0);
 
 /// The Figure-1 special case: sweep the main-memory energy Em.
 [[nodiscard]] std::vector<SensitivityRow> sweepEmSensitivity(
     const Kernel& kernel, std::span<const double> emValues,
-    const ExploreOptions& base = {});
+    const ExploreOptions& base = {}, obs::Recorder* recorder = nullptr,
+    unsigned threads = 0);
 
 /// True when the min-energy selection is identical across all rows.
 [[nodiscard]] bool selectionStable(std::span<const SensitivityRow> rows);

@@ -1,0 +1,71 @@
+#include "memx/obs/recorder.hpp"
+
+namespace memx::obs {
+
+// Implemented in run_report.cpp next to the RunReport type.
+RunReport buildReport(std::vector<SpanRecord> spans,
+                      std::map<std::string, std::uint64_t> counters,
+                      std::map<std::string, double> gauges);
+
+Counter& Recorder::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::piecewise_construct,
+                           std::forward_as_tuple(name),
+                           std::forward_as_tuple())
+      .first->second;
+}
+
+std::uint64_t Recorder::counterValue(std::string_view name) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void Recorder::setGauge(std::string_view name, double value) {
+  const std::scoped_lock lock(mutex_);
+  gauges_.insert_or_assign(std::string(name), value);
+}
+
+std::uint32_t Recorder::threadIndex() {
+  const std::scoped_lock lock(mutex_);
+  const auto [it, inserted] = threads_.try_emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(threads_.size()));
+  return it->second;
+}
+
+void Recorder::recordSpan(std::string_view name, std::uint32_t tid,
+                          std::int64_t startNs, std::int64_t endNs) {
+  SpanRecord span;
+  span.name = std::string(name);
+  span.tid = tid;
+  span.startNs = startNs;
+  span.endNs = endNs;
+  const std::scoped_lock lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::size_t Recorder::spanCount() const {
+  const std::scoped_lock lock(mutex_);
+  return spans_.size();
+}
+
+RunReport Recorder::report() const {
+  std::vector<SpanRecord> spans;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  {
+    const std::scoped_lock lock(mutex_);
+    spans = spans_;
+    for (const auto& [name, counter] : counters_) {
+      counters.emplace(name, counter.value());
+    }
+    for (const auto& [name, value] : gauges_) gauges.emplace(name, value);
+  }
+  return buildReport(std::move(spans), std::move(counters),
+                     std::move(gauges));
+}
+
+}  // namespace memx::obs

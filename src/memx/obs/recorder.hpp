@@ -1,0 +1,134 @@
+// Lightweight run instrumentation: named counters, gauges, and scoped
+// monotonic phase timers feeding a per-run RunReport.
+//
+// Design rules:
+//   - No sink, no cost: every instrumentation site takes a `Recorder*`
+//     and the null case is one predictable branch — no clock reads, no
+//     locks, no allocation. Results are never affected either way; the
+//     recorder only observes.
+//   - Thread-safe: counters are lock-free atomics behind a registry
+//     lock taken only on first use of a name; completed spans append
+//     under a mutex (one lock per span, i.e. per trace group — far off
+//     the per-access hot path).
+//   - Monotonic: all times come from steady_clock relative to the
+//     recorder's construction epoch, so spans from different workers
+//     interleave correctly in the exported timeline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "memx/obs/run_report.hpp"
+
+namespace memx::obs {
+
+/// A named monotonically increasing value. Lock-free; references stay
+/// valid for the owning Recorder's lifetime.
+class Counter {
+public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Collects spans, counters, and gauges for one run. All members are
+/// safe to call concurrently from any thread.
+class Recorder {
+public:
+  Recorder() : epoch_(std::chrono::steady_clock::now()) {}
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// The counter registered under `name` (created zero on first use).
+  /// The reference stays valid until the Recorder is destroyed, so hot
+  /// loops can look it up once and bump it without the registry lock.
+  [[nodiscard]] Counter& counter(std::string_view name);
+
+  /// Current value of `name` (0 when never bumped).
+  [[nodiscard]] std::uint64_t counterValue(std::string_view name) const;
+
+  /// Record the latest value of a named gauge (last write wins).
+  void setGauge(std::string_view name, double value);
+
+  /// Dense index of the calling thread (0, 1, 2, ... in first-seen
+  /// order). Stable for the recorder's lifetime; used as the trace tid.
+  [[nodiscard]] std::uint32_t threadIndex();
+
+  /// Monotonic nanoseconds since this recorder's construction.
+  [[nodiscard]] std::int64_t nowNs() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Append one completed span (ScopedSpan calls this from its
+  /// destructor; direct use is fine for externally timed intervals).
+  void recordSpan(std::string_view name, std::uint32_t tid,
+                  std::int64_t startNs, std::int64_t endNs);
+
+  [[nodiscard]] std::size_t spanCount() const;
+
+  /// Snapshot everything collected so far into an aggregated report.
+  [[nodiscard]] RunReport report() const;
+
+private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  /// std::map keeps node addresses stable across inserts, which is what
+  /// lets counter() hand out long-lived references.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::thread::id, std::uint32_t> threads_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII phase timer. Records a span named `name` covering its lifetime
+/// on the calling thread; with a null recorder it does nothing (the
+/// null-sink fast path — a single branch, no clock read).
+///
+/// `name` is captured by reference: pass a string literal or a string
+/// that outlives the span.
+class ScopedSpan {
+public:
+  ScopedSpan(Recorder* recorder, std::string_view name)
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    name_ = name;
+    tid_ = recorder_->threadIndex();
+    startNs_ = recorder_->nowNs();
+  }
+
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    // A throwing sink must not turn an in-flight exception into
+    // std::terminate; losing one span is the better failure mode.
+    try {
+      recorder_->recordSpan(name_, tid_, startNs_, recorder_->nowNs());
+    } catch (...) {
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+private:
+  Recorder* recorder_;
+  std::string_view name_;
+  std::uint32_t tid_ = 0;
+  std::int64_t startNs_ = 0;
+};
+
+}  // namespace memx::obs

@@ -7,9 +7,12 @@ std::vector<std::uint64_t> pow2Range(std::uint64_t lo, std::uint64_t hi) {
   MEMX_EXPECTS(isPow2(hi), "pow2Range upper bound must be a power of two");
   MEMX_EXPECTS(lo <= hi, "pow2Range requires lo <= hi");
   std::vector<std::uint64_t> out;
-  for (std::uint64_t v = lo; v <= hi; v <<= 1) {
+  // Break on v == hi *before* shifting: both endpoints are powers of two
+  // with lo <= hi, so v hits hi exactly, and shifting past it would wrap
+  // to 0 when hi is the top bit (2^63) and loop forever.
+  for (std::uint64_t v = lo;; v <<= 1) {
     out.push_back(v);
-    if (v > (hi >> 1) && v != hi) break;  // defensive against overflow
+    if (v == hi) break;
   }
   return out;
 }

@@ -115,6 +115,87 @@ TEST(ExplorationResult, FindIndexRebuildsAfterAppend) {
   EXPECT_EQ(&r.at(ConfigKey{64, 8, 1, 1}), &r.points[0]);
 }
 
+TEST(ExplorationResult, FindNeverReturnsWrongPointAfterKeyMutation) {
+  // Regression: the index used to go stale on a same-size in-place key
+  // rewrite, so find() could hand back a point whose key is not the one
+  // asked for.
+  ExplorationResult r;
+  for (std::uint32_t size : {32u, 64u, 128u}) {
+    DesignPoint p;
+    p.key = ConfigKey{size, 8, 1, 1};
+    p.cycles = static_cast<double>(size);
+    r.points.push_back(p);
+  }
+  const ConfigKey oldKey{64, 8, 1, 1};
+  const ConfigKey newKey{256, 16, 2, 1};
+  ASSERT_NE(r.find(oldKey), nullptr);  // build the index
+
+  r.points[1].key = newKey;  // in-place rewrite, size unchanged
+
+  // The stale entry self-check must refuse to return points[1] for the
+  // old key even though invalidateIndex() was never called.
+  EXPECT_EQ(r.find(oldKey), nullptr);
+  const DesignPoint* moved = r.find(newKey);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved, &r.points[1]);
+}
+
+TEST(ExplorationResult, InvalidateIndexPicksUpMutatedKeys) {
+  // The generation counter covers the case the self-check cannot: the
+  // mutated key is queried first, so no stale entry is ever touched.
+  ExplorationResult r;
+  DesignPoint p;
+  p.key = ConfigKey{64, 8, 1, 1};
+  r.points.push_back(p);
+  p.key = ConfigKey{128, 8, 1, 1};
+  r.points.push_back(p);
+  ASSERT_NE(r.find(ConfigKey{64, 8, 1, 1}), nullptr);  // build the index
+
+  const ConfigKey newKey{512, 32, 1, 1};
+  r.points[0].key = newKey;
+  r.invalidateIndex();
+  const DesignPoint* found = r.find(newKey);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &r.points[0]);
+  EXPECT_EQ(r.find(ConfigKey{64, 8, 1, 1}), nullptr);
+}
+
+TEST(Explorer, StalePlanRejectedAfterClearCaches) {
+  // Regression: group.layout aliases the Explorer's layout memo, and
+  // clearCaches() used to leave plans silently dangling. Now the plan
+  // carries a generation stamp and using it after clearCaches() throws.
+  Explorer ex(smallSweep());
+  const Kernel kernel = compressKernel();
+  const SweepPlan plan = ex.planSweep(kernel, ex.sweepKeys());
+  ASSERT_FALSE(plan.groups.empty());
+
+  Explorer::PatternCache patterns;
+  const Trace trace = ex.buildGroupTrace(kernel, plan.groups[0], patterns);
+  std::vector<DesignPoint> out(plan.keys.size());
+  ex.evaluateGroup(plan.groups[0], trace, ex.addrActivityFor(trace),
+                   plan.keys, out);  // fresh plan: both calls fine
+
+  ex.clearCaches();
+  EXPECT_THROW((void)ex.buildGroupTrace(kernel, plan.groups[0], patterns),
+               ContractViolation);
+  EXPECT_THROW(ex.evaluateGroup(plan.groups[0], trace,
+                                ex.addrActivityFor(trace), plan.keys, out),
+               ContractViolation);
+  try {
+    (void)ex.buildGroupTrace(kernel, plan.groups[0], patterns);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("stale SweepPlan"),
+              std::string::npos);
+  }
+
+  // Re-planning against the cleared caches works again.
+  const SweepPlan fresh = ex.planSweep(kernel, ex.sweepKeys());
+  Explorer::PatternCache patterns2;
+  EXPECT_NO_THROW(
+      (void)ex.buildGroupTrace(kernel, fresh.groups[0], patterns2));
+}
+
 TEST(ExplorationResult, FindReturnsFirstOfDuplicateKeys) {
   ExplorationResult r;
   DesignPoint p;

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "memx/core/selection.hpp"
 #include "memx/core/sensitivity.hpp"
 #include "memx/energy/sram_catalog.hpp"
 #include "memx/kernels/benchmarks.hpp"
+#include "memx/obs/recorder.hpp"
 #include "memx/util/assert.hpp"
 
 namespace memx {
@@ -71,6 +75,69 @@ TEST(Sensitivity, StabilityPredicate) {
   b.minEnergyKey = ConfigKey{128, 8, 1, 1};
   EXPECT_FALSE(selectionStable(std::vector<SensitivityRow>{a, b}));
   EXPECT_TRUE(selectionStable(std::vector<SensitivityRow>{}));
+}
+
+TEST(Sensitivity, EmptySweepErrorNamesTheParameterValue) {
+  // Regression: an empty exploration used to die on a generic
+  // MEMX_ENSURES postcondition; now it raises EmptySweepError carrying
+  // the offending parameter value (and workload) in the message.
+  ExplorationResult empty;
+  empty.workload = "compress";
+  try {
+    (void)summarizeSweep(3.5, empty);
+    FAIL() << "should have thrown";
+  } catch (const EmptySweepError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3.5"), std::string::npos) << what;
+    EXPECT_NE(what.find("compress"), std::string::npos) << what;
+    EXPECT_NE(what.find("no design points"), std::string::npos) << what;
+  }
+}
+
+TEST(Sensitivity, SummarizeSweepMatchesSelectionHelpers) {
+  const Kernel k = dequantKernel(8);
+  const Explorer ex(smallSweep());
+  const ExplorationResult result = ex.explore(k);
+  const SensitivityRow row = summarizeSweep(7.0, result);
+  EXPECT_DOUBLE_EQ(row.parameterValue, 7.0);
+  EXPECT_EQ(row.minEnergyKey, minEnergyPoint(result.points)->key);
+  EXPECT_EQ(row.minCycleKey, minCyclePoint(result.points)->key);
+}
+
+TEST(Sensitivity, ParallelRoutingMatchesSerialBaseline) {
+  // sweepSensitivity now runs each value through exploreParallel; the
+  // engine is bit-identical to serial exploration, so the rows must be
+  // exactly what a hand-rolled serial sweep computes.
+  const Kernel k = compressKernel();
+  const double values[] = {2.0, 8.0};
+  const auto rows = sweepEmSensitivity(k, values, smallSweep());
+  ASSERT_EQ(rows.size(), 2u);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    ExploreOptions o = smallSweep();
+    o.energy.emNj = values[i];
+    const ExplorationResult serial = Explorer(o).explore(k);
+    const SensitivityRow expected = summarizeSweep(values[i], serial);
+    EXPECT_EQ(rows[i].minEnergyKey, expected.minEnergyKey);
+    EXPECT_DOUBLE_EQ(rows[i].minEnergyNj, expected.minEnergyNj);
+    EXPECT_EQ(rows[i].minCycleKey, expected.minCycleKey);
+    EXPECT_DOUBLE_EQ(rows[i].minCycles, expected.minCycles);
+  }
+}
+
+TEST(Sensitivity, RecorderObservesEveryValueSweep) {
+  obs::Recorder recorder;
+  const double values[] = {1.0, 4.0, 16.0};
+  const auto rows = sweepEmSensitivity(compressKernel(), values,
+                                       smallSweep(), &recorder, 2);
+  ASSERT_EQ(rows.size(), 3u);
+  const obs::RunReport report = recorder.report();
+  const obs::PhaseStat* perValue = report.phase("sensitivity.value");
+  ASSERT_NE(perValue, nullptr);
+  EXPECT_EQ(perValue->count, 3u);
+  const obs::PhaseStat* parallel = report.phase("exploreParallel");
+  ASSERT_NE(parallel, nullptr);
+  EXPECT_EQ(parallel->count, 3u);
+  EXPECT_GT(report.counter("sweep.points"), 0u);
 }
 
 TEST(Sensitivity, RejectsNullMutator) {

@@ -72,6 +72,27 @@ TEST(Pow2Range, SingleElement) {
   EXPECT_EQ(r[0], 16u);
 }
 
+TEST(Pow2Range, TopBitBoundaryTerminates) {
+  // Regression: with hi == 2^63 the old overflow guard (`v != hi` on the
+  // break) skipped the break on the last iteration, `v <<= 1` wrapped to
+  // 0, and the loop appended 0 forever.
+  const std::uint64_t top = 1ull << 63;
+
+  const auto single = pow2Range(top, top);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], top);
+
+  const auto pair = pow2Range(1ull << 62, top);
+  ASSERT_EQ(pair.size(), 2u);
+  EXPECT_EQ(pair[0], 1ull << 62);
+  EXPECT_EQ(pair[1], top);
+
+  const auto full = pow2Range(1, top);
+  ASSERT_EQ(full.size(), 64u);
+  EXPECT_EQ(full.front(), 1u);
+  EXPECT_EQ(full.back(), top);
+}
+
 TEST(Pow2Range, RejectsNonPowerBounds) {
   EXPECT_THROW(pow2Range(3, 16), ContractViolation);
   EXPECT_THROW(pow2Range(4, 17), ContractViolation);
