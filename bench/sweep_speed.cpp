@@ -3,11 +3,15 @@
 // trace every time) versus the shared-trace one-pass engine (explore()
 // and exploreParallel()), plus an instrumented parallel run with an
 // obs::Recorder attached to measure the observability layer's overhead
-// (budget: < 5%). Asserts every path produces bit-identical DesignPoint
-// vectors, then writes BENCH_sweep_speed.json with points/sec of each
-// path, the speedup, the sink overhead, and the full RunReport, and
+// (budget: < 5%), plus a backend comparison — the same serial
+// shared-trace sweep forced onto SweepBackend::MultiSim versus
+// SweepBackend::StackDist (the sweep is LRU-only, so the analytic
+// backend applies; budget: >= 2x points/sec). Asserts every path
+// produces bit-identical DesignPoint vectors, then writes
+// BENCH_sweep_speed.json with points/sec of each path and backend, the
+// speedup, the sink overhead, and the full RunReport, and
 // BENCH_sweep_trace.json with the chrome://tracing worker timeline.
-// Exits nonzero on any mismatch.
+// Exits nonzero on any mismatch or blown budget.
 //
 // This is a plain main (no google-benchmark): the determinism check is
 // the point, and each path is simply timed best-of-kReps (every rep does
@@ -66,7 +70,12 @@ bool identical(const std::vector<DesignPoint>& a,
 
 int main() {
   const Kernel kernel = memx::compressKernel();
-  const Explorer grid(memx::bench::paperOptions());
+  // The simulating backend is pinned so the baseline/shared/parallel
+  // timings keep measuring what they always measured; the analytic
+  // backend gets its own timed path below.
+  memx::ExploreOptions simOptions = memx::bench::paperOptions();
+  simOptions.backend = memx::SweepBackend::MultiSim;
+  const Explorer grid(simOptions);
   const std::vector<ConfigKey> keys = grid.sweepKeys();
 
   memx::bench::section("Sweep-engine speed (" + kernel.name + ", " +
@@ -135,11 +144,32 @@ int main() {
     report = recorder.report();
   }
 
+  // Backend comparison: the identical serial shared-trace sweep forced
+  // onto the stack-distance backend (this sweep is LRU/write-allocate
+  // throughout, so the analytic engine is exact; the property suite
+  // pins bit-equality, re-asserted here).
+  memx::ExploreOptions stackOptions = memx::bench::paperOptions();
+  stackOptions.backend = memx::SweepBackend::StackDist;
+  const Explorer stackGrid(stackOptions);
+  (void)stackGrid.planSweep(kernel, keys);  // warm the layout memo too
+  double stackSec = 1e30;
+  std::vector<DesignPoint> stackPts;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Explorer fresh = stackGrid;
+    const auto t0 = std::chrono::steady_clock::now();
+    ExplorationResult r = fresh.explore(kernel);
+    stackSec =
+        std::min(stackSec, seconds(t0, std::chrono::steady_clock::now()));
+    stackPts = std::move(r.points);
+  }
+
   const bool ok = identical(baseline, sharedPts, "explore") &&
                   identical(baseline, parPts, "exploreParallel") &&
-                  identical(baseline, obsPts, "exploreParallel+recorder");
+                  identical(baseline, obsPts, "exploreParallel+recorder") &&
+                  identical(baseline, stackPts, "explore+stackdist");
   const double n = static_cast<double>(keys.size());
   const double speedup = baseSec / sharedSec;
+  const double backendSpeedup = sharedSec / stackSec;
   const double overheadPct = 100.0 * (obsSec - parSec) / parSec;
 
   std::printf("per-point baseline : %8.3f s  (%9.1f points/s)\n", baseSec,
@@ -150,7 +180,23 @@ int main() {
               parSec, n / parSec, baseSec / parSec);
   std::printf("para. + report sink: %8.3f s  (%9.1f points/s)  %+.1f%% overhead\n",
               obsSec, n / obsSec, overheadPct);
+  std::printf("stackdist backend  : %8.3f s  (%9.1f points/s)  %.2fx vs multisim\n",
+              stackSec, n / stackSec, backendSpeedup);
   std::printf("bit-identical      : %s\n", ok ? "yes" : "NO");
+
+  // Budgets: the analytic backend must earn its keep on an LRU-only
+  // sweep, and the report sink must stay in the noise (absolute guard
+  // for sub-100ms runs where one scheduler blip is a large percentage).
+  const bool fastEnough = backendSpeedup >= 2.0;
+  if (!fastEnough) {
+    std::cerr << "BUDGET: stackdist backend speedup " << backendSpeedup
+              << "x is below the 2x floor\n";
+  }
+  const bool lowOverhead = overheadPct < 5.0 || (obsSec - parSec) < 0.05;
+  if (!lowOverhead) {
+    std::cerr << "BUDGET: instrumentation overhead " << overheadPct
+              << "% exceeds the 5% budget\n";
+  }
 
   std::ofstream json("BENCH_sweep_speed.json");
   json << "{\"workload\": \"" << kernel.name << "\", \"points\": "
@@ -162,11 +208,14 @@ int main() {
        << ", \"shared_points_per_sec\": " << n / sharedSec
        << ", \"parallel_points_per_sec\": " << n / parSec
        << ", \"instrumented_points_per_sec\": " << n / obsSec
+       << ", \"stackdist_seconds\": " << stackSec
+       << ", \"stackdist_points_per_sec\": " << n / stackSec
        << ", \"speedup\": " << speedup
+       << ", \"backend_speedup\": " << backendSpeedup
        << ", \"sink_overhead_pct\": " << overheadPct
        << ", \"identical\": " << (ok ? "true" : "false");
   memx::bench::emitRunReport(report, json, "BENCH_sweep_trace.json");
   json << "}\n";
 
-  return ok ? 0 : 1;
+  return (ok && fastEnough && lowOverhead) ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 // memx_cli — command-line front end to the exploration library.
 //
 //   memx_cli explore <kernel> [--em <nJ>] [--no-layout] [--csv]
+//                    [--backend <auto|multisim|stackdist>]
 //   memx_cli simulate <din-file> --cache <C..L..[S..]>
 //   memx_cli layout <kernel> --cache <C..L..>
 //   memx_cli icache <kernel>
@@ -71,6 +72,7 @@ struct Args {
   bool csv = false;
   std::optional<std::string> cacheLabel;
   std::uint32_t lineBytes = 8;
+  SweepBackend backend = SweepBackend::Auto;
 };
 
 Args parseArgs(int argc, char** argv) {
@@ -93,6 +95,8 @@ Args parseArgs(int argc, char** argv) {
       args.cacheLabel = value();
     } else if (arg == "--line") {
       args.lineBytes = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--backend") {
+      args.backend = parseSweepBackend(value());
     } else {
       args.positional.push_back(arg);
     }
@@ -124,6 +128,7 @@ int cmdExplore(const Args& args) {
   ExploreOptions options;
   options.energy.emNj = args.em;
   options.optimizeLayout = !args.noLayout;
+  options.backend = args.backend;
   const Explorer explorer(options);
   emitResult(explorer.explore(kernel), args.csv);
   return 0;

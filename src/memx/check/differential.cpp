@@ -9,6 +9,7 @@
 #include "memx/cachesim/set_sampling.hpp"
 #include "memx/check/random_gen.hpp"
 #include "memx/check/ref_cache_sim.hpp"
+#include "memx/stackdist/stackdist_sim.hpp"
 
 namespace memx {
 
@@ -33,6 +34,7 @@ std::string diffCaseRepro(const DiffCase& c, std::size_t len) {
      << " write=" << toString(c.config.writePolicy)
      << " alloc=" << toString(c.config.allocatePolicy)
      << " l2=" << c.l2.label()
+     << " lru=" << c.lru.label()
      << " | rerun: memx::replayDiffCase(" << c.seed << ", " << len << ")";
   return os.str();
 }
@@ -163,6 +165,41 @@ std::string diffAllPaths(const DiffCase& c, const Trace& trace) {
     }
   }
 
+  // Path 6: stack-distance bank. c.lru is always in StackDistSim's
+  // domain; its fully-associative and direct-mapped siblings ride in
+  // the same bank so one profile is read at three (sets, ways) corners.
+  // Misses must match BOTH the oracle and the production simulator
+  // exactly; `writebacks` is the one field the analysis cannot produce
+  // (reported 0), so the expectation is masked to 0 for write-back
+  // configs — all other fields, including write-through memWrites,
+  // must agree to the last count.
+  {
+    CacheConfig fa = c.lru;
+    fa.associativity = fa.numLines();
+    CacheConfig dm = c.lru;
+    dm.associativity = 1;
+    const std::vector<CacheConfig> bank = {c.lru, fa, dm};
+    StackDistSim stackBank(bank);
+    stackBank.run(trace);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      CacheStats oracleStats = refSimulateTrace(bank[i], trace);
+      CacheStats simStats = simulateTrace(bank[i], trace);
+      if (bank[i].writePolicy == WritePolicy::WriteBack) {
+        oracleStats.writebacks = 0;
+        simStats.writebacks = 0;
+      }
+      const std::string path = "StackDist[" + std::to_string(i) + "]";
+      std::string d =
+          diffStats(path + " vs RefCacheSim", oracleStats,
+                    stackBank.stats(i));
+      if (d.empty()) {
+        d = diffStats(path + " vs CacheSim.run", simStats,
+                      stackBank.stats(i));
+      }
+      if (!d.empty()) return d;
+    }
+  }
+
   return {};
 }
 
@@ -173,6 +210,7 @@ DiffCase makeDiffCase(std::uint64_t seed) {
   c.seed = seed;
   c.config = randomCacheConfig(seed);
   c.l2 = randomL2Config(c.config, seed);
+  c.lru = randomLruCacheConfig(seed);
   c.trace = randomCheckTrace(seed);
   return c;
 }

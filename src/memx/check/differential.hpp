@@ -3,7 +3,9 @@
 // Each seeded case replays one generated reference stream through every
 // production simulation path — CacheSim's bulk fast path, its
 // per-access outcome path, a MultiCacheSim bank, the two-level
-// CacheHierarchy and the set-sampling estimator — and diffs the full
+// CacheHierarchy, the set-sampling estimator and the stack-distance
+// bank (StackDistSim, on an always-in-domain LRU config plus its
+// fully-associative and direct-mapped siblings) — and diffs the full
 // statistics of each against the naive RefCacheSim oracle. Full
 // simulation must match bit for bit (including the Random replacement
 // policy, which both sides draw from identically-seeded engines); set
@@ -27,12 +29,15 @@ struct DiffCase {
   std::uint64_t seed = 0;
   CacheConfig config;  ///< primary configuration under test
   CacheConfig l2;      ///< inclusive outer level for the hierarchy path
+  CacheConfig lru;     ///< LRU/write-allocate config for the stack-
+                       ///< distance path (StackDistSim's domain)
   Trace trace;
 };
 
 /// Generate the case for `seed` (config from randomCacheConfig, L2 from
-/// randomL2Config, stream from randomCheckTrace — policies cover all 16
-/// combinations over any 16 consecutive seeds).
+/// randomL2Config, lru from randomLruCacheConfig, stream from
+/// randomCheckTrace — policies cover all 16 combinations over any 16
+/// consecutive seeds).
 [[nodiscard]] DiffCase makeDiffCase(std::uint64_t seed);
 
 /// One-line reproduction header for `c` truncated to `len` references

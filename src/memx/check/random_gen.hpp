@@ -22,6 +22,13 @@ namespace memx {
 /// policy combination.
 [[nodiscard]] CacheConfig randomCacheConfig(std::uint64_t seed);
 
+/// A random geometry restricted to the stack-distance domain: same
+/// L/sets/ways distribution as randomCacheConfig (from an independent
+/// rng stream), but always LRU replacement with write-allocate fills;
+/// the write policy alternates write-back / write-through with
+/// `seed % 2`. Feed these to StackDistSim-vs-simulator differentials.
+[[nodiscard]] CacheConfig randomLruCacheConfig(std::uint64_t seed);
+
 /// The L2 companion of randomCacheConfig(seed): a valid inclusive outer
 /// level (line >= L1 line, capacity >= L1 capacity) with its own
 /// seed-derived associativity and policies.

@@ -1,0 +1,45 @@
+// Reference stack-distance profile: the retired O(n * uniqueLines)
+// linear Mattson walk, kept as the oracle for the Fenwick-tree
+// OrderedStack engine that replaced it in production (ReuseProfile).
+// Deliberately the dumbest correct implementation — an explicit LRU
+// stack vector searched front to back — so a disagreement with the
+// production profile always indicts the clever side.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Stack-distance histogram of one trace at a given line size, computed
+/// by the naive walk. Mirrors the ReuseProfile accessors the tests
+/// compare field by field.
+class RefReuseProfile {
+public:
+  /// `lineBytes` must be a power of two.
+  RefReuseProfile(const Trace& trace, std::uint32_t lineBytes);
+
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return accesses_;
+  }
+  [[nodiscard]] std::uint64_t coldMisses() const noexcept { return cold_; }
+  [[nodiscard]] std::uint64_t uniqueLines() const noexcept {
+    return static_cast<std::uint64_t>(histogram_.size());
+  }
+  [[nodiscard]] std::uint64_t countAtDistance(std::uint64_t d) const {
+    return d < histogram_.size() ? histogram_[d] : 0;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& histogram()
+      const noexcept {
+    return histogram_;
+  }
+
+private:
+  std::vector<std::uint64_t> histogram_;  ///< index = stack distance
+  std::uint64_t cold_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace memx

@@ -9,12 +9,33 @@
 #include "memx/layout/offchip_assign.hpp"
 #include "memx/loopir/trace_gen.hpp"
 #include "memx/obs/recorder.hpp"
+#include "memx/stackdist/stackdist_sim.hpp"
 #include "memx/util/assert.hpp"
 #include "memx/util/bits.hpp"
 #include "memx/util/pow2_range.hpp"
 #include "memx/xform/tiling.hpp"
 
 namespace memx {
+
+std::string toString(SweepBackend backend) {
+  switch (backend) {
+    case SweepBackend::Auto:
+      return "auto";
+    case SweepBackend::MultiSim:
+      return "multisim";
+    case SweepBackend::StackDist:
+      return "stackdist";
+  }
+  return "auto";
+}
+
+SweepBackend parseSweepBackend(const std::string& name) {
+  if (name == "auto") return SweepBackend::Auto;
+  if (name == "multisim") return SweepBackend::MultiSim;
+  if (name == "stackdist") return SweepBackend::StackDist;
+  throw ContractViolation("unknown sweep backend \"" + name +
+                          "\" (expected auto, multisim or stackdist)");
+}
 
 void ExploreRanges::validate() const {
   MEMX_EXPECTS(isPow2(onChipBytes) && isPow2(minCacheBytes) &&
@@ -75,6 +96,33 @@ Explorer::Explorer(ExploreOptions options)
     : options_(std::move(options)), cycleModel_(options_.timing) {
   options_.ranges.validate();
   options_.energy.validate();
+  MEMX_EXPECTS(options_.backend != SweepBackend::StackDist ||
+                   stackDistEligible(),
+               "SweepBackend::StackDist requires LRU replacement and an "
+               "energy metric that never reads writebacks "
+               "(includeWriteEnergy implies write-through); use "
+               "SweepBackend::Auto to fall back to simulation");
+}
+
+bool Explorer::stackDistEligible() const noexcept {
+  if (options_.replacement != ReplacementPolicy::LRU) return false;
+  // configFor() always leaves allocatePolicy at WriteAllocate, so the
+  // only remaining question is whether every statistic the models read
+  // is stack-distance-derivable. With the read-only energy metric that
+  // is just accesses + miss rate; totalIncludingWritesNj additionally
+  // reads memWrites and writebacks, which are exact only under
+  // write-through (where writebacks cannot occur).
+  return !options_.includeWriteEnergy ||
+         options_.writePolicy == WritePolicy::WriteThrough;
+}
+
+SweepBackend Explorer::resolvedBackend() const noexcept {
+  if (options_.backend == SweepBackend::MultiSim) return SweepBackend::MultiSim;
+  if (options_.backend == SweepBackend::StackDist) {
+    return SweepBackend::StackDist;  // eligibility enforced at construction
+  }
+  return stackDistEligible() ? SweepBackend::StackDist
+                             : SweepBackend::MultiSim;
 }
 
 const MemoryLayout& Explorer::layoutFor(const Kernel& kernel,
@@ -193,6 +241,9 @@ SweepPlan Explorer::planSweep(const Kernel& kernel,
   SweepPlan plan;
   plan.generation = cacheGeneration_;
   plan.keys = std::move(keys);
+  // Policies are run-global, so every group of this plan resolves to the
+  // same engine; stamping each group keeps evaluateGroup self-contained.
+  const SweepBackend backend = resolvedBackend();
   // Tiled variants used only to certify layouts; the trace-generating
   // tiling happens later, once per pattern.
   std::map<std::uint32_t, Kernel> tiledProbes;
@@ -226,7 +277,7 @@ SweepPlan Explorer::planSweep(const Kernel& kernel,
     if (inserted) {
       plan.groups.push_back(SweepPlan::Group{traceTiling, traceKey,
                                              &layout, {},
-                                             cacheGeneration_});
+                                             cacheGeneration_, backend});
     }
     plan.groups[it->second].keyIndices.push_back(i);
   }
@@ -276,6 +327,26 @@ void Explorer::evaluateGroup(const SweepPlan::Group& group,
   for (const std::size_t idx : group.keyIndices) {
     configs.push_back(configFor(keys[idx]));
   }
+  if (group.backend == SweepBackend::StackDist) {
+    StackDistSim bank(configs);
+    bank.run(trace);
+    for (std::size_t j = 0; j < group.keyIndices.size(); ++j) {
+      const std::size_t idx = group.keyIndices[j];
+      out[idx] = makePoint(configs[j], keys[idx].tiling, bank.stats(j),
+                           addrActivity);
+    }
+    if (recorder_ != nullptr) {
+      recorder_->counter("sweep.groups").add();
+      recorder_->counter("sweep.groups_stackdist").add();
+      recorder_->counter("sweep.points").add(group.keyIndices.size());
+      recorder_->counter("stackdist.passes").add(bank.passCount());
+      // Trace references actually profiled (one pass per line size),
+      // versus the trace.size() * configs a simulating backend pays.
+      recorder_->counter("stackdist.accesses")
+          .add(trace.size() * bank.passCount());
+    }
+    return;
+  }
   MultiCacheSim bank(configs);
   bank.run(trace);
   for (std::size_t j = 0; j < group.keyIndices.size(); ++j) {
@@ -285,6 +356,7 @@ void Explorer::evaluateGroup(const SweepPlan::Group& group,
   }
   if (recorder_ != nullptr) {
     recorder_->counter("sweep.groups").add();
+    recorder_->counter("sweep.groups_multisim").add();
     recorder_->counter("sweep.points").add(group.keyIndices.size());
     recorder_->counter("sim.accesses")
         .add(trace.size() * group.keyIndices.size());

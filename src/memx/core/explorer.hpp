@@ -17,8 +17,12 @@
 // so explore() groups the (T, L, S, B) grid by (B, layout signature),
 // generates each distinct trace once (cached in a TraceCache keyed like
 // the layout memo), and evaluates every configuration of a group against
-// the shared immutable trace in a single pass through a MultiCacheSim
-// bank. Results are bit-identical to evaluating each point in isolation.
+// the shared immutable trace in a single pass. Two backends exist for
+// that pass: a MultiCacheSim bank (simulates every config; any policy)
+// and StackDistSim (one stack-distance profile per line size serves all
+// (T, S) at once; LRU/write-allocate only). SweepBackend::Auto picks
+// StackDist whenever the run's policies allow it. Results are
+// bit-identical to evaluating each point in isolation either way.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +61,27 @@ struct ExploreRanges {
   void validate() const;
 };
 
+/// How sweep groups evaluate their configurations against the shared
+/// trace.
+enum class SweepBackend : std::uint8_t {
+  /// Pick per run: StackDist when the configured policies are in the
+  /// stack-distance domain, MultiSim otherwise.
+  Auto,
+  /// Simulate every configuration (MultiCacheSim bank). Always exact,
+  /// cost scales with the number of configurations.
+  MultiSim,
+  /// Stack-distance analysis (StackDistSim): one profile per line size
+  /// serves every (T, S) at once. Exact for LRU/write-allocate; an
+  /// Explorer constructed with this backend forced outside that domain
+  /// throws.
+  StackDist,
+};
+
+[[nodiscard]] std::string toString(SweepBackend backend);
+/// Parse "auto" / "multisim" / "stackdist" (case-sensitive); throws
+/// memx::ContractViolation on anything else.
+[[nodiscard]] SweepBackend parseSweepBackend(const std::string& name);
+
 /// Everything that parameterizes an exploration run.
 struct ExploreOptions {
   ExploreRanges ranges;
@@ -73,6 +98,10 @@ struct ExploreOptions {
   bool includeWriteEnergy = false;
   WritePolicy writePolicy = WritePolicy::WriteBack;
   ReplacementPolicy replacement = ReplacementPolicy::LRU;
+  /// Sweep evaluation engine; Auto resolves per run (see
+  /// Explorer::resolvedBackend). Forcing StackDist with options outside
+  /// its domain is rejected at Explorer construction.
+  SweepBackend backend = SweepBackend::Auto;
 };
 
 /// All evaluated points for one workload.
@@ -130,6 +159,8 @@ struct SweepPlan {
     /// Layout-memo generation at planning time; checked by
     /// buildGroupTrace/evaluateGroup against the owning Explorer.
     std::uint64_t generation = 0;
+    /// Evaluation engine resolved at planSweep time (never Auto).
+    SweepBackend backend = SweepBackend::MultiSim;
   };
 
   std::vector<ConfigKey> keys;
@@ -180,6 +211,17 @@ public:
                      double addrActivity,
                      const std::vector<ConfigKey>& keys,
                      std::vector<DesignPoint>& out) const;
+
+  /// True iff the configured policies are in the stack-distance domain:
+  /// LRU replacement (configFor always uses write-allocate fills), and
+  /// an energy metric that never reads writeback counts — stack-distance
+  /// analysis cannot produce them (write-through has none, so
+  /// includeWriteEnergy stays exact there).
+  [[nodiscard]] bool stackDistEligible() const noexcept;
+
+  /// The engine sweeps will actually use: Auto resolves to StackDist
+  /// when eligible, else MultiSim; explicit choices pass through.
+  [[nodiscard]] SweepBackend resolvedBackend() const noexcept;
 
   /// Add_bs for `trace` under the configured measurement option.
   [[nodiscard]] double addrActivityFor(const Trace& trace) const;

@@ -3,6 +3,7 @@
 #include "memx/cachesim/bus_monitor.hpp"
 #include "memx/cachesim/cache_sim.hpp"
 #include "memx/cachesim/multi_sim.hpp"
+#include "memx/stackdist/stackdist_sim.hpp"
 #include "memx/timing/cycle_model.hpp"
 
 namespace memx {
@@ -49,8 +50,10 @@ ExplorationResult exploreTrace(const std::string& name, const Trace& trace,
   const Explorer grid(o);  // reuse the sweep-key generator; validates
 
   // The trace is fixed, so the whole (T, L, S) grid is one config bank:
-  // a single trace pass through MultiCacheSim, with the bus activity
-  // measured once instead of per point.
+  // a single trace pass, with the bus activity measured once instead of
+  // per point. The bank honors the same backend resolution explore()
+  // uses (stack-distance profiles for LRU/write-allocate runs,
+  // MultiCacheSim otherwise).
   const std::vector<ConfigKey> keys = grid.sweepKeys();
   std::vector<CacheConfig> configs;
   configs.reserve(keys.size());
@@ -60,7 +63,10 @@ ExplorationResult exploreTrace(const std::string& name, const Trace& trace,
   result.workload = name;
   if (keys.empty()) return result;
 
-  const std::vector<CacheStats> stats = simulateTraceMulti(configs, trace);
+  const std::vector<CacheStats> stats =
+      grid.resolvedBackend() == SweepBackend::StackDist
+          ? stackDistStats(configs, trace)
+          : simulateTraceMulti(configs, trace);
   const double addBs = o.measureBusActivity
                            ? measureAddrActivity(trace)
                            : kDefaultAddrSwitchesPerAccess;

@@ -1,0 +1,192 @@
+#include "memx/stackdist/all_assoc.hpp"
+
+#include <limits>
+
+#include "memx/util/assert.hpp"
+#include "memx/util/bits.hpp"
+
+namespace memx {
+namespace {
+
+/// Flat-slot offset of set-count level `s`: levels 0..s-1 occupy
+/// (2^0 + 2^1 + ... + 2^(s-1)) * maxAssoc = (2^s - 1) * maxAssoc slots.
+[[nodiscard]] constexpr std::size_t levelOffset(unsigned s,
+                                                std::uint32_t maxAssoc) {
+  return (((std::size_t{1} << s) - 1)) * maxAssoc;
+}
+
+/// Move-to-front touch of one bounded recency list: push the key in at
+/// depth 0 and ripple the displaced entries down until we either find
+/// the key's old position (its per-set stack distance), hit the empty
+/// tail (cold), or fall off the end (distance >= maxAssoc; the LRU
+/// entry drops, which is exact — no associativity <= maxAssoc can see
+/// it before its next fill anyway). Cold and dropped both return
+/// maxAssoc: "misses at every tracked way count".
+[[nodiscard]] inline std::uint32_t touchSet(std::uint64_t* slot,
+                                            std::uint64_t key,
+                                            std::uint32_t maxAssoc) {
+  if (slot[0] == key) return 0;  // MRU re-touch: order already correct
+  std::uint64_t carry = key;
+  for (std::uint32_t d = 0; d < maxAssoc; ++d) {
+    const std::uint64_t cur = slot[d];
+    slot[d] = carry;
+    if (cur == key) return d;
+    if (cur == 0) break;
+    carry = cur;
+  }
+  return maxAssoc;
+}
+
+}  // namespace
+
+AllAssocProfile::AllAssocProfile(const Trace& trace, std::uint32_t lineBytes,
+                                 std::uint32_t maxSets,
+                                 std::uint32_t maxAssoc)
+    : lineBytes_(lineBytes), maxAssoc_(maxAssoc) {
+  MEMX_EXPECTS(isPow2(lineBytes), "lineBytes must be a power of two");
+  MEMX_EXPECTS(isPow2(maxSets), "maxSets must be a power of two");
+  MEMX_EXPECTS(maxAssoc >= 1, "maxAssoc must be at least 1");
+  // The per-level slot arrays total (2*maxSets - 1) * maxAssoc entries;
+  // keep that well under memory limits (this bound still covers every
+  // geometry pow2Range can produce by orders of magnitude).
+  const auto totalSlots =
+      (2 * static_cast<std::uint64_t>(maxSets) - 1) * maxAssoc;
+  MEMX_EXPECTS(totalSlots <= (std::uint64_t{1} << 28),
+               "maxSets * maxAssoc grid too large");
+
+  lineShift_ = log2Exact(lineBytes);
+  numS_ = log2Exact(maxSets) + 1;
+
+  // Recency lists for every (level, set): slot d holds the (d+1)-th most
+  // recently touched line of that set, encoded as line+1 so 0 is "empty".
+  std::vector<std::uint64_t> slots(static_cast<std::size_t>(totalSlots), 0);
+
+  const std::size_t buckets = bucketCount();
+  refHistRead_.assign(numS_ * buckets, 0);
+  refHistWrite_.assign(numS_ * buckets, 0);
+  lineHist_.assign(numS_ * buckets, 0);
+
+  // Hoisted per-level slot bases and set masks: the ripple scan runs
+  // once per (probe, level), so index arithmetic shaved here is the
+  // profile's dominant cost after the scan itself.
+  std::vector<std::uint64_t*> base(numS_);
+  std::vector<std::uint64_t> mask(numS_);
+  for (unsigned s = 0; s < numS_; ++s) {
+    base[s] = slots.data() + levelOffset(s, maxAssoc_);
+    mask[s] = (std::uint64_t{1} << s) - 1;
+  }
+
+  // Per-reference worst (deepest) bucket at each level, so a reference
+  // that straddles lines is counted as a miss iff any probe misses —
+  // the same per-access accounting CacheSim uses.
+  std::vector<std::uint32_t> worst(numS_, 0);
+
+  for (const MemRef& ref : trace) {
+    MEMX_EXPECTS(ref.size > 0, "access size must be positive");
+    const bool readLike = isReadLike(ref.type);
+    if (readLike) {
+      ++reads_;
+    } else {
+      ++writes_;
+    }
+    auto& refHist = readLike ? refHistRead_ : refHistWrite_;
+
+    const std::uint64_t firstLine = ref.addr >> lineShift_;
+    const std::uint64_t lastLine = (ref.addr + ref.size - 1) >> lineShift_;
+
+    if (firstLine == lastLine) {
+      // Fast path — an access contained in one line (the overwhelmingly
+      // common case): the reference's worst bucket at each level is the
+      // single probe's bucket, so both histograms update in one sweep
+      // and the per-reference `worst` merge is skipped entirely.
+      ++probes_;
+      if (!readLike) ++writeProbes_;
+      const std::uint64_t key = firstLine + 1;
+      std::size_t row = 0;
+      for (unsigned s = 0; s < numS_; ++s, row += buckets) {
+        std::uint64_t* slot = base[s] + (firstLine & mask[s]) * maxAssoc_;
+        const std::uint32_t bucket = touchSet(slot, key, maxAssoc_);
+        ++lineHist_[row + bucket];
+        ++refHist[row + bucket];
+      }
+      continue;
+    }
+
+    worst.assign(numS_, 0);
+    for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
+      ++probes_;
+      if (!readLike) ++writeProbes_;
+      const std::uint64_t key = line + 1;
+      std::size_t row = 0;
+      for (unsigned s = 0; s < numS_; ++s, row += buckets) {
+        std::uint64_t* slot = base[s] + (line & mask[s]) * maxAssoc_;
+        const std::uint32_t bucket = touchSet(slot, key, maxAssoc_);
+        ++lineHist_[row + bucket];
+        if (bucket > worst[s]) worst[s] = bucket;
+      }
+      if (line == std::numeric_limits<std::uint64_t>::max()) break;
+    }
+
+    std::size_t row = 0;
+    for (unsigned s = 0; s < numS_; ++s, row += buckets) {
+      ++refHist[row + worst[s]];
+    }
+  }
+}
+
+unsigned AllAssocProfile::levelOf(std::uint32_t numSets) const {
+  MEMX_EXPECTS(isPow2(numSets), "numSets must be a power of two");
+  const unsigned s = log2Exact(numSets);
+  MEMX_EXPECTS(s < numS_, "numSets exceeds the profiled maxSets");
+  return s;
+}
+
+std::uint64_t AllAssocProfile::tailSum(const std::vector<std::uint64_t>& hist,
+                                       unsigned level,
+                                       std::uint32_t assoc) const {
+  MEMX_EXPECTS(assoc >= 1 && assoc <= maxAssoc_,
+               "associativity outside the profiled range");
+  std::uint64_t sum = 0;
+  for (std::size_t b = assoc; b <= maxAssoc_; ++b) {
+    sum += hist[level * bucketCount() + b];
+  }
+  return sum;
+}
+
+std::uint64_t AllAssocProfile::misses(std::uint32_t numSets,
+                                      std::uint32_t assoc) const {
+  return readMisses(numSets, assoc) + writeMisses(numSets, assoc);
+}
+
+std::uint64_t AllAssocProfile::readMisses(std::uint32_t numSets,
+                                          std::uint32_t assoc) const {
+  return tailSum(refHistRead_, levelOf(numSets), assoc);
+}
+
+std::uint64_t AllAssocProfile::writeMisses(std::uint32_t numSets,
+                                           std::uint32_t assoc) const {
+  return tailSum(refHistWrite_, levelOf(numSets), assoc);
+}
+
+std::uint64_t AllAssocProfile::lineFills(std::uint32_t numSets,
+                                         std::uint32_t assoc) const {
+  return tailSum(lineHist_, levelOf(numSets), assoc);
+}
+
+CacheStats AllAssocProfile::stats(std::uint32_t numSets, std::uint32_t assoc,
+                                  WritePolicy writePolicy) const {
+  CacheStats out;
+  out.reads = reads_;
+  out.writes = writes_;
+  out.readMisses = readMisses(numSets, assoc);
+  out.readHits = reads_ - out.readMisses;
+  out.writeMisses = writeMisses(numSets, assoc);
+  out.writeHits = writes_ - out.writeMisses;
+  out.lineFills = lineFills(numSets, assoc);
+  out.writebacks = 0;
+  out.memWrites =
+      writePolicy == WritePolicy::WriteThrough ? writeProbes_ : 0;
+  return out;
+}
+
+}  // namespace memx

@@ -1,0 +1,119 @@
+// All-associativity stack-distance analysis (Hill & Smith 1989).
+//
+// Mattson's observation gives every fully-associative LRU capacity from
+// one trace pass; Hill and Smith generalized it to set-associative
+// caches: under bit-selection indexing, an access hits in a cache with
+// 2^s sets and A ways iff fewer than A distinct lines of the same set
+// were touched since its previous touch. Conflict sets are nested in s
+// (two lines that conflict at 2^s sets also conflict at every coarser
+// set count), so one pass can maintain the per-set recency order for
+// *every* power-of-two set count at once and read off exact LRU miss
+// counts for the whole (sets, associativity) grid.
+//
+// Instead of Hill-Smith's single global stack walk (O(stack depth) per
+// access), this implementation keeps, per set count, a bounded
+// per-set recency list truncated to `maxAssoc` entries — the top of the
+// true per-set LRU stack, which is all that associativities up to
+// maxAssoc can distinguish. Distances at or beyond maxAssoc and cold
+// (first-touch) lines fold into one "miss at every tracked
+// associativity" bucket, making the per-probe cost a hard
+// O(setCounts * maxAssoc) regardless of trace locality.
+//
+// The profile is exact — not an estimate — for LRU replacement with
+// write-allocate fills, where every probe (hit or fill) refreshes
+// recency and the set therefore holds exactly the maxAssoc most
+// recently touched lines mapping to it. See StackDistSim for the
+// config-facing wrapper and `docs/TESTING.md` for the oracle layers
+// that pin this equivalence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memx/cachesim/cache_stats.hpp"
+#include "memx/cachesim/cache_config.hpp"
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// Exact LRU/write-allocate hit-miss profile of one trace at one line
+/// size, for every numSets in {1, 2, 4, ..., maxSets} and every
+/// associativity in [1, maxAssoc].
+class AllAssocProfile {
+public:
+  /// One pass over `trace`. `lineBytes` and `maxSets` must be powers of
+  /// two, `maxAssoc` >= 1. Accesses straddling line boundaries probe
+  /// each touched line, exactly like CacheSim.
+  AllAssocProfile(const Trace& trace, std::uint32_t lineBytes,
+                  std::uint32_t maxSets, std::uint32_t maxAssoc);
+
+  [[nodiscard]] std::uint32_t lineBytes() const noexcept {
+    return lineBytes_;
+  }
+  [[nodiscard]] std::uint32_t maxSets() const noexcept {
+    return 1u << (numS_ - 1);
+  }
+  [[nodiscard]] std::uint32_t maxAssoc() const noexcept { return maxAssoc_; }
+
+  /// References presented (read-like + writes), line probes made.
+  [[nodiscard]] std::uint64_t accesses() const noexcept {
+    return reads_ + writes_;
+  }
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t lineProbes() const noexcept { return probes_; }
+
+  /// Exact miss count of an LRU write-allocate cache with `numSets`
+  /// sets of `assoc` ways (numSets a power of two <= maxSets, assoc in
+  /// [1, maxAssoc]). A reference misses when any of its line probes
+  /// misses, mirroring CacheSim's per-access accounting.
+  [[nodiscard]] std::uint64_t misses(std::uint32_t numSets,
+                                     std::uint32_t assoc) const;
+  [[nodiscard]] std::uint64_t readMisses(std::uint32_t numSets,
+                                         std::uint32_t assoc) const;
+  [[nodiscard]] std::uint64_t writeMisses(std::uint32_t numSets,
+                                          std::uint32_t assoc) const;
+  /// Line fills (one per missing probe; write-allocate fills included).
+  [[nodiscard]] std::uint64_t lineFills(std::uint32_t numSets,
+                                        std::uint32_t assoc) const;
+
+  /// CacheStats exactly as CacheSim would report them for an LRU
+  /// write-allocate cache with this geometry — for every field a stack
+  /// distance determines. `writebacks` is always 0: dirty-eviction
+  /// counting needs per-configuration fill state, which is precisely
+  /// what this analysis avoids (write-through caches genuinely have
+  /// none; write-back callers needing it must simulate). `memWrites` is
+  /// exact for write-through (one word store per write probe) and
+  /// exactly 0 for write-back with write-allocate.
+  [[nodiscard]] CacheStats stats(std::uint32_t numSets, std::uint32_t assoc,
+                                 WritePolicy writePolicy) const;
+
+private:
+  /// Bucket index of a per-set stack distance: the exact distance when
+  /// < maxAssoc_, else maxAssoc_ ("misses at every tracked way count";
+  /// cold first touches land here too).
+  [[nodiscard]] std::size_t bucketCount() const noexcept {
+    return maxAssoc_ + std::size_t{1};
+  }
+  [[nodiscard]] unsigned levelOf(std::uint32_t numSets) const;
+  [[nodiscard]] std::uint64_t tailSum(const std::vector<std::uint64_t>& hist,
+                                      unsigned level,
+                                      std::uint32_t assoc) const;
+
+  std::uint32_t lineBytes_ = 0;
+  std::uint32_t maxAssoc_ = 0;
+  unsigned lineShift_ = 0;
+  unsigned numS_ = 0;  ///< set-count levels: s in [0, numS_) -> 2^s sets
+
+  // Flattened histograms, indexed [level * bucketCount() + bucket].
+  std::vector<std::uint64_t> refHistRead_;   ///< per-reference worst bucket
+  std::vector<std::uint64_t> refHistWrite_;
+  std::vector<std::uint64_t> lineHist_;      ///< per-line-probe bucket
+
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t writeProbes_ = 0;  ///< probes belonging to write refs
+};
+
+}  // namespace memx

@@ -1,0 +1,109 @@
+// Ordered LRU stack with O(log U) distance queries — the engine behind
+// Mattson-style stack-distance analysis (Mattson et al. 1970).
+//
+// The naive formulation keeps the LRU stack as a list and finds each
+// accessed line by a linear walk: O(n * uniqueLines) over a trace. This
+// implementation keeps only each line's *last-touch position* in a hash
+// map and marks those positions in a Fenwick tree, so the stack distance
+// of a touch — the number of distinct lines touched since the previous
+// touch of the same line — is one prefix-sum query: O(log U) amortized
+// per touch, O(uniqueLines) space. Positions grow monotonically and are
+// compacted in place when the tree would outgrow twice the number of
+// live lines, which is what keeps the tree (and the log factor) sized by
+// U rather than by the trace length.
+//
+// Header-only on purpose: memx_trace's ReuseProfile builds on this
+// engine while memx_stackdist's all-associativity profile builds on
+// Trace, and a header-only core keeps that dependency edge one-way.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace memx {
+
+/// Distance reported for a first touch (cold miss): no previous access,
+/// so the distance is infinite.
+inline constexpr std::uint64_t kColdDistance = ~std::uint64_t{0};
+
+/// LRU recency order over an unbounded universe of line ids.
+class OrderedStack {
+public:
+  /// `initialCapacity` sizes the first Fenwick tree; tests shrink it to
+  /// force compactions early, production code keeps the default.
+  explicit OrderedStack(std::size_t initialCapacity = 64)
+      : capacity_(std::max<std::size_t>(initialCapacity, 2)) {
+    tree_.assign(capacity_ + 1, 0);
+  }
+
+  /// Move `line` to the top of the stack and return its previous stack
+  /// distance: 0 for a re-access of the most recently used line,
+  /// kColdDistance for a first touch.
+  std::uint64_t touch(std::uint64_t line) {
+    const auto it = last_.find(line);
+    std::uint64_t distance = kColdDistance;
+    if (it != last_.end()) {
+      const std::size_t prev = it->second;
+      // Lines above `line` in the stack are exactly the marked
+      // positions greater than its own: total marks minus the prefix
+      // through `prev` (which includes `prev` itself).
+      distance =
+          static_cast<std::uint64_t>(last_.size()) - prefixThrough(prev);
+      add(prev, -1);
+      last_.erase(it);
+    }
+    if (next_ == capacity_) compact();
+    const std::size_t pos = next_++;
+    add(pos, +1);
+    last_.emplace(line, pos);
+    return distance;
+  }
+
+  /// Number of distinct lines touched so far.
+  [[nodiscard]] std::uint64_t uniqueLines() const noexcept {
+    return static_cast<std::uint64_t>(last_.size());
+  }
+
+private:
+  void add(std::size_t pos, std::int64_t delta) {
+    for (std::size_t x = pos + 1; x <= capacity_; x += x & (~x + 1)) {
+      tree_[x] += delta;
+    }
+  }
+
+  /// Number of marked positions in [0, pos].
+  [[nodiscard]] std::uint64_t prefixThrough(std::size_t pos) const {
+    std::int64_t sum = 0;
+    for (std::size_t x = pos + 1; x > 0; x -= x & (~x + 1)) {
+      sum += tree_[x];
+    }
+    return static_cast<std::uint64_t>(sum);
+  }
+
+  /// Reassign the live positions to 0..U-1 (preserving order) and
+  /// rebuild the tree at capacity 2(U+1). Amortized: at least half the
+  /// capacity's worth of touches happen between compactions.
+  void compact() {
+    std::vector<std::pair<std::size_t, std::uint64_t>> order;
+    order.reserve(last_.size());
+    for (const auto& [line, pos] : last_) order.emplace_back(pos, line);
+    std::sort(order.begin(), order.end());
+    capacity_ = std::max<std::size_t>(capacity_, 2 * (order.size() + 1));
+    tree_.assign(capacity_ + 1, 0);
+    next_ = 0;
+    for (const auto& [pos, line] : order) {
+      last_[line] = next_;
+      add(next_, +1);
+      ++next_;
+    }
+  }
+
+  std::unordered_map<std::uint64_t, std::uint64_t> last_;
+  std::vector<std::int64_t> tree_;  ///< Fenwick tree, 1-based
+  std::size_t next_ = 0;            ///< next free position
+  std::size_t capacity_ = 0;        ///< positions the tree covers
+};
+
+}  // namespace memx

@@ -1,0 +1,62 @@
+#include "memx/stackdist/stackdist_sim.hpp"
+
+#include <algorithm>
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+StackDistSim::StackDistSim(const std::vector<CacheConfig>& configs)
+    : configs_(configs) {
+  MEMX_EXPECTS(!configs_.empty(), "StackDistSim needs at least one config");
+  for (std::size_t i = 0; i < configs_.size(); ++i) {
+    const CacheConfig& config = configs_[i];
+    config.validate();
+    MEMX_EXPECTS(supports(config),
+                 "StackDistSim handles LRU/write-allocate configs only");
+    auto it = std::find_if(groups_.begin(), groups_.end(),
+                           [&](const LineGroup& g) {
+                             return g.lineBytes == config.lineBytes;
+                           });
+    if (it == groups_.end()) {
+      groups_.push_back(LineGroup{config.lineBytes, 1, 1, {}});
+      it = std::prev(groups_.end());
+    }
+    it->maxSets = std::max(it->maxSets, config.numSets());
+    it->maxAssoc = std::max(it->maxAssoc, config.associativity);
+    it->members.push_back(i);
+  }
+  stats_.resize(configs_.size());
+}
+
+void StackDistSim::run(const Trace& trace) {
+  MEMX_EXPECTS(!ran_, "StackDistSim profiles are per-trace; "
+                      "construct a new bank to run another trace");
+  ran_ = true;
+  for (const LineGroup& group : groups_) {
+    const AllAssocProfile profile(trace, group.lineBytes, group.maxSets,
+                                  group.maxAssoc);
+    for (const std::size_t i : group.members) {
+      const CacheConfig& config = configs_[i];
+      stats_[i] = profile.stats(config.numSets(), config.associativity,
+                                config.writePolicy);
+    }
+  }
+}
+
+const CacheStats& StackDistSim::stats(std::size_t i) const {
+  MEMX_EXPECTS(ran_, "stats() requires a completed run()");
+  return stats_[i];
+}
+
+std::vector<CacheStats> stackDistStats(
+    const std::vector<CacheConfig>& configs, const Trace& trace) {
+  StackDistSim bank(configs);
+  bank.run(trace);
+  std::vector<CacheStats> out;
+  out.reserve(bank.size());
+  for (std::size_t i = 0; i < bank.size(); ++i) out.push_back(bank.stats(i));
+  return out;
+}
+
+}  // namespace memx

@@ -1,0 +1,83 @@
+// Stack-distance evaluation of a bank of cache configurations.
+//
+// StackDistSim is the analytic sibling of MultiCacheSim: same bank
+// interface (configs in, per-config CacheStats out, one run() over a
+// trace), but instead of simulating each member it builds one
+// AllAssocProfile per distinct line size and reads every member's
+// hit/miss counts off the profile's (sets, associativity) grid. The
+// trace cost is O(n log U)-class work per line size — independent of
+// how many configurations share it — which is what makes large LRU
+// sweeps cheap.
+//
+// Only LRU replacement with write-allocate fills is in the analysis'
+// domain (supports() is the eligibility predicate Explorer uses to pick
+// a backend); writebacks are reported as 0 — see AllAssocProfile::stats.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memx/cachesim/cache_config.hpp"
+#include "memx/cachesim/cache_stats.hpp"
+#include "memx/stackdist/all_assoc.hpp"
+#include "memx/trace/trace.hpp"
+
+namespace memx {
+
+/// A bank of LRU/write-allocate configurations evaluated analytically
+/// from per-line-size stack-distance profiles.
+class StackDistSim {
+public:
+  /// Throws on an empty bank, an invalid config, or a config outside
+  /// the stack-distance domain (see supports()).
+  explicit StackDistSim(const std::vector<CacheConfig>& configs);
+
+  /// True iff stack-distance analysis yields exact statistics for
+  /// `config`: LRU replacement with write-allocate fills. (Geometry is
+  /// unrestricted; write policy only scales memory traffic, which the
+  /// profile tracks exactly.)
+  [[nodiscard]] static bool supports(const CacheConfig& config) noexcept {
+    return config.replacement == ReplacementPolicy::LRU &&
+           config.allocatePolicy == AllocatePolicy::WriteAllocate;
+  }
+
+  /// Profile `trace` once per distinct line size and fill every
+  /// member's statistics. Single-shot: a second call throws (profiles
+  /// are per-trace; build a new bank per trace).
+  void run(const Trace& trace);
+
+  [[nodiscard]] std::size_t size() const noexcept { return configs_.size(); }
+  [[nodiscard]] const CacheConfig& config(std::size_t i) const {
+    return configs_[i];
+  }
+  /// Statistics of member `i`; only valid after run().
+  [[nodiscard]] const CacheStats& stats(std::size_t i) const;
+
+  /// Number of trace passes run() makes (= distinct line sizes in the
+  /// bank); exposed for observability counters.
+  [[nodiscard]] std::size_t passCount() const noexcept {
+    return groups_.size();
+  }
+
+private:
+  /// Members sharing one line size share one AllAssocProfile.
+  struct LineGroup {
+    std::uint32_t lineBytes = 0;
+    std::uint32_t maxSets = 1;
+    std::uint32_t maxAssoc = 1;
+    std::vector<std::size_t> members;  ///< indices into configs_
+  };
+
+  std::vector<CacheConfig> configs_;
+  std::vector<LineGroup> groups_;
+  std::vector<CacheStats> stats_;
+  bool ran_ = false;
+};
+
+/// Convenience: evaluate `trace` against every config analytically,
+/// returning the per-config statistics in input order. Exactly matches
+/// simulateTraceMulti for supported configs, except writebacks (0).
+[[nodiscard]] std::vector<CacheStats> stackDistStats(
+    const std::vector<CacheConfig>& configs, const Trace& trace);
+
+}  // namespace memx

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "memx/stackdist/ordered_stack.hpp"
 #include "memx/util/assert.hpp"
 #include "memx/util/bits.hpp"
 
@@ -10,25 +11,18 @@ namespace memx {
 ReuseProfile::ReuseProfile(const Trace& trace, std::uint32_t lineBytes) {
   MEMX_EXPECTS(isPow2(lineBytes), "line size must be a power of two");
 
-  // LRU stack, most recent first.
-  std::vector<std::uint64_t> stack;
+  OrderedStack stack;
   auto touch = [&](std::uint64_t line) {
     ++accesses_;
-    const auto it = std::find(stack.begin(), stack.end(), line);
-    if (it == stack.end()) {
+    const std::uint64_t distance = stack.touch(line);
+    if (distance == kColdDistance) {
       ++cold_;
-      stack.insert(stack.begin(), line);
-      histogram_.resize(stack.size(), 0);
+      // The histogram spans every distance a future re-access could
+      // have, so its size is the number of distinct lines seen.
+      histogram_.resize(stack.uniqueLines(), 0);
       return;
     }
-    const auto distance =
-        static_cast<std::uint64_t>(it - stack.begin());
-    if (distance >= histogram_.size()) {
-      histogram_.resize(distance + 1, 0);
-    }
     ++histogram_[distance];
-    stack.erase(it);
-    stack.insert(stack.begin(), line);
   };
 
   for (const MemRef& ref : trace) {

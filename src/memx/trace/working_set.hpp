@@ -2,7 +2,11 @@
 //
 // One pass over a trace yields the miss rate of *every* fully-associative
 // LRU cache size at once: an access at stack distance d hits in any cache
-// of more than d lines. The exploration engine uses simulation for exact
+// of more than d lines. Distances come from the O(log U)-per-touch
+// OrderedStack engine (memx/stackdist/ordered_stack.hpp); the naive
+// linear stack walk survives only as the test oracle
+// (memx/check/ref_stack_dist.hpp). The exploration engine uses the
+// set-associative generalization (AllAssocProfile) for exact
 // per-geometry numbers; this profile provides the capacity-only view —
 // the working-set curve — and a cross-check for the simulator.
 #pragma once
@@ -17,7 +21,7 @@ namespace memx {
 /// Stack-distance histogram of one trace at a given line size.
 class ReuseProfile {
 public:
-  /// Compute the profile (O(n * uniqueLines) Mattson stack walk).
+  /// Compute the profile (one O(n log uniqueLines) trace pass).
   /// `lineBytes` must be a power of two.
   ReuseProfile(const Trace& trace, std::uint32_t lineBytes);
 

@@ -12,7 +12,9 @@
 #include "memx/energy/energy_model.hpp"
 #include "memx/kernels/benchmarks.hpp"
 #include "memx/layout/offchip_assign.hpp"
+#include "memx/stackdist/all_assoc.hpp"
 #include "memx/timing/cycle_model.hpp"
+#include "memx/util/assert.hpp"
 
 namespace memx {
 namespace {
@@ -174,6 +176,104 @@ TEST(Properties, ExploreParallelAndPerPointAreBitIdentical) {
     EXPECT_EQ(s.cycles, one.cycles) << s.label();
     EXPECT_EQ(s.energyNj, one.energyNj) << s.label();
   }
+}
+
+// --- Stack-inclusion monotonicity, asserted on the stack-distance
+// engine itself (not the simulator): one AllAssocProfile serves every
+// (sets, ways) corner, so both axes read off a single trace pass.
+TEST_P(PropertySweep, StackDistMissesMonotoneInAssociativityAtFixedSets) {
+  const Trace trace = randomCheckTrace(seed(), 300, 1200);
+  const AllAssocProfile profile(trace, 8, 16, 8);
+  for (const std::uint32_t sets : {1u, 4u, 16u}) {
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (const std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+      const std::uint64_t misses = profile.misses(sets, assoc);
+      EXPECT_LE(misses, prev)
+          << "seed " << seed() << " sets=" << sets << " ways=" << assoc;
+      prev = misses;
+    }
+  }
+}
+
+// Growing T at fixed S and L adds sets; under bit-selection indexing a
+// set of the bigger cache holds a subset of the lines contending in the
+// corresponding set of the smaller one, so per-set stack distances only
+// shrink: misses are non-increasing in cache size at fixed ways.
+TEST_P(PropertySweep, StackDistMissesMonotoneInCacheSizeAtFixedWays) {
+  const Trace trace = randomCheckTrace(seed(), 300, 1200);
+  const AllAssocProfile profile(trace, 8, 16, 8);
+  for (const std::uint32_t assoc : {1u, 2u, 8u}) {
+    std::uint64_t prev = ~std::uint64_t{0};
+    for (const std::uint32_t sets : {1u, 2u, 4u, 8u, 16u}) {
+      const std::uint64_t misses = profile.misses(sets, assoc);
+      EXPECT_LE(misses, prev)
+          << "seed " << seed() << " sets=" << sets << " ways=" << assoc;
+      prev = misses;
+    }
+  }
+}
+
+// --- PR-5 engine contract: forcing the StackDist backend produces a
+// bit-identical ExplorationResult to forcing MultiCacheSim, on the same
+// workloads the golden corpus pins (so any drift is double-caught).
+TEST(Properties, StackDistBackendBitIdenticalToMultiSimOnGoldenCorpus) {
+  ExploreOptions options;
+  options.ranges.onChipBytes = 256;
+  options.ranges.maxCacheBytes = 256;
+  options.ranges.minCacheBytes = 16;
+  options.ranges.minLineBytes = 4;
+  options.ranges.maxLineBytes = 32;
+  options.ranges.maxAssociativity = 4;
+  options.ranges.maxTiling = 4;
+
+  ExploreOptions stackOptions = options;
+  stackOptions.backend = SweepBackend::StackDist;
+  ExploreOptions simOptions = options;
+  simOptions.backend = SweepBackend::MultiSim;
+
+  const Kernel kernels[] = {compressKernel(), matrixAddKernel(8),
+                            dequantKernel(16), transposeKernel(16)};
+  for (const Kernel& kernel : kernels) {
+    const ExplorationResult analytic =
+        Explorer(stackOptions).explore(kernel);
+    const ExplorationResult simulated =
+        Explorer(simOptions).explore(kernel);
+    ASSERT_EQ(analytic.points.size(), simulated.points.size());
+    ASSERT_FALSE(analytic.points.empty());
+    for (std::size_t i = 0; i < analytic.points.size(); ++i) {
+      const DesignPoint& a = analytic.points[i];
+      const DesignPoint& s = simulated.points[i];
+      ASSERT_EQ(a.key, s.key) << kernel.name;
+      EXPECT_EQ(a.accesses, s.accesses) << kernel.name << " " << a.label();
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(a.missRate, s.missRate) << kernel.name << " " << a.label();
+      EXPECT_EQ(a.cycles, s.cycles) << kernel.name << " " << a.label();
+      EXPECT_EQ(a.energyNj, s.energyNj) << kernel.name << " " << a.label();
+    }
+  }
+}
+
+// An Explorer whose options force StackDist outside its domain must be
+// rejected at construction, not silently fall back.
+TEST(Properties, ForcedStackDistBackendRejectsIneligibleOptions) {
+  ExploreOptions options;
+  options.backend = SweepBackend::StackDist;
+  options.replacement = ReplacementPolicy::FIFO;
+  EXPECT_THROW(Explorer{options}, ContractViolation);
+
+  options.replacement = ReplacementPolicy::LRU;
+  options.includeWriteEnergy = true;
+  options.writePolicy = WritePolicy::WriteBack;
+  EXPECT_THROW(Explorer{options}, ContractViolation);
+
+  // Write-through keeps includeWriteEnergy exact: eligible again.
+  options.writePolicy = WritePolicy::WriteThrough;
+  EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
+
+  // Auto quietly falls back to simulation for the same options.
+  options.backend = SweepBackend::Auto;
+  options.writePolicy = WritePolicy::WriteBack;
+  EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::MultiSim);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Range(1, 21));

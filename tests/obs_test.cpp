@@ -350,7 +350,15 @@ TEST(ObsIntegration, ExploreWithReportIsBitIdenticalToWithout) {
   EXPECT_EQ(report.counter("trace.cache_miss"),
             report.counter("plan.groups"));
   EXPECT_GT(report.counter("trace.accesses"), 0u);
-  EXPECT_GT(report.counter("sim.accesses"),
+  // Default options are LRU/write-allocate, so the sweep resolves to the
+  // stack-distance backend: the analytic workload counters replace the
+  // per-config simulation counter.
+  EXPECT_EQ(plain.resolvedBackend(), SweepBackend::StackDist);
+  EXPECT_EQ(report.counter("sweep.groups_stackdist"),
+            report.counter("sweep.groups"));
+  EXPECT_EQ(report.counter("sim.accesses"), 0u);
+  EXPECT_GT(report.counter("stackdist.passes"), 0u);
+  EXPECT_GE(report.counter("stackdist.accesses"),
             report.counter("trace.accesses"));
 }
 

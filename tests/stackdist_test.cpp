@@ -1,0 +1,326 @@
+// Known-answer and oracle tests for the stack-distance engine: the
+// OrderedStack Fenwick core, the Hill-Smith all-associativity profile
+// and the StackDistSim bank. Hand-traced expectations are pinned like
+// ref_cache_sim_test.cpp; everything else is diffed against CacheSim
+// or the naive reference walk (memx/check/ref_stack_dist.hpp).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "memx/cachesim/cache_sim.hpp"
+#include "memx/cachesim/multi_sim.hpp"
+#include "memx/check/random_gen.hpp"
+#include "memx/check/ref_stack_dist.hpp"
+#include "memx/stackdist/all_assoc.hpp"
+#include "memx/stackdist/ordered_stack.hpp"
+#include "memx/stackdist/stackdist_sim.hpp"
+#include "memx/trace/working_set.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx {
+namespace {
+
+// --- OrderedStack ---------------------------------------------------
+
+TEST(OrderedStack, HandTracedDistances) {
+  // Touch sequence a b a c b a; the LRU stack evolves as
+  //   a | b a | a b | c a b | b c a | a b c
+  // so the distances are: cold, cold, 1, cold, 2, 2.
+  OrderedStack s;
+  EXPECT_EQ(s.touch('a'), kColdDistance);
+  EXPECT_EQ(s.touch('b'), kColdDistance);
+  EXPECT_EQ(s.touch('a'), 1u);
+  EXPECT_EQ(s.touch('c'), kColdDistance);
+  EXPECT_EQ(s.touch('b'), 2u);
+  EXPECT_EQ(s.touch('a'), 2u);
+  EXPECT_EQ(s.uniqueLines(), 3u);
+}
+
+TEST(OrderedStack, MruReaccessIsDistanceZero) {
+  OrderedStack s;
+  EXPECT_EQ(s.touch(7), kColdDistance);
+  EXPECT_EQ(s.touch(7), 0u);
+  EXPECT_EQ(s.touch(7), 0u);
+  EXPECT_EQ(s.uniqueLines(), 1u);
+}
+
+TEST(OrderedStack, CompactionPreservesDistances) {
+  // initialCapacity 2 forces a tree rebuild every couple of touches;
+  // distances must be indistinguishable from a large-capacity stack.
+  OrderedStack tight(2);
+  OrderedStack roomy(1024);
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t line = rng() % 64;
+    ASSERT_EQ(tight.touch(line), roomy.touch(line)) << "touch " << i;
+  }
+  EXPECT_EQ(tight.uniqueLines(), roomy.uniqueLines());
+}
+
+TEST(OrderedStack, CyclicSweepDistanceEqualsWorkingSetMinusOne) {
+  OrderedStack s;
+  for (std::uint64_t line = 0; line < 8; ++line) {
+    EXPECT_EQ(s.touch(line), kColdDistance);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t line = 0; line < 8; ++line) {
+      EXPECT_EQ(s.touch(line), 7u) << "round " << round;
+    }
+  }
+}
+
+// --- ReuseProfile (reimplemented on OrderedStack) vs the naive walk --
+
+TEST(ReuseProfileOracle, MatchesNaiveWalkOnRandomTraces) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Trace trace = randomCheckTrace(seed, 200, 800);
+    for (const std::uint32_t lineBytes : {4u, 16u}) {
+      const ReuseProfile fast(trace, lineBytes);
+      const RefReuseProfile ref(trace, lineBytes);
+      ASSERT_EQ(fast.accesses(), ref.accesses()) << "seed " << seed;
+      ASSERT_EQ(fast.coldMisses(), ref.coldMisses()) << "seed " << seed;
+      ASSERT_EQ(fast.uniqueLines(), ref.uniqueLines()) << "seed " << seed;
+      for (std::uint64_t d = 0; d < ref.uniqueLines(); ++d) {
+        ASSERT_EQ(fast.countAtDistance(d), ref.countAtDistance(d))
+            << "seed " << seed << " L=" << lineBytes << " d=" << d;
+      }
+    }
+  }
+}
+
+// --- AllAssocProfile known answers -----------------------------------
+
+TEST(AllAssocProfile, HandTracedMissGrid) {
+  // 4-byte reads touching lines 0, 1, 0, 2, 0, 4 (L = 4).
+  Trace t;
+  for (const std::uint64_t addr : {0u, 4u, 0u, 8u, 0u, 16u}) {
+    t.push(readRef(addr, 4));
+  }
+  const AllAssocProfile p(t, 4, 2, 2);
+  EXPECT_EQ(p.accesses(), 6u);
+  EXPECT_EQ(p.reads(), 6u);
+  EXPECT_EQ(p.writes(), 0u);
+  EXPECT_EQ(p.lineProbes(), 6u);
+
+  // Hand-traced LRU miss counts (see the sequence above):
+  //   1 set, 1 way: only line re-accesses after no intervening touch
+  //   hit; there are none -> 6 misses.
+  EXPECT_EQ(p.misses(1, 1), 6u);
+  //   1 set, 2 ways: the three re-accesses of line 0 at global stack
+  //   distance 1 hit -> 4 misses (the cold touches).
+  EXPECT_EQ(p.misses(1, 2), 4u);
+  //   2 sets (even lines -> set 0, line 1 alone in set 1), 1 way: the
+  //   second access of line 0 hits (distance 0 in its set) -> 5.
+  EXPECT_EQ(p.misses(2, 1), 5u);
+  //   2 sets, 2 ways: every re-access of line 0 hits -> cold only.
+  EXPECT_EQ(p.misses(2, 2), 4u);
+
+  // Cold misses are the infinite-distance bucket: at the deepest
+  // tracked geometry only the 4 first touches miss.
+  EXPECT_EQ(p.readMisses(1, 2), 4u);
+  EXPECT_EQ(p.writeMisses(1, 2), 0u);
+}
+
+TEST(AllAssocProfile, MatchesCacheSimOnTheHandTrace) {
+  Trace t;
+  for (const std::uint64_t addr : {0u, 4u, 0u, 8u, 0u, 16u}) {
+    t.push(readRef(addr, 4));
+  }
+  const AllAssocProfile p(t, 4, 2, 2);
+  for (const std::uint32_t sets : {1u, 2u}) {
+    for (const std::uint32_t assoc : {1u, 2u}) {
+      CacheConfig c;
+      c.lineBytes = 4;
+      c.associativity = assoc;
+      c.sizeBytes = 4 * sets * assoc;
+      const CacheStats sim = simulateTrace(c, t);
+      EXPECT_EQ(p.misses(sets, assoc), sim.misses())
+          << "sets=" << sets << " ways=" << assoc;
+      EXPECT_EQ(p.lineFills(sets, assoc), sim.lineFills)
+          << "sets=" << sets << " ways=" << assoc;
+    }
+  }
+}
+
+TEST(AllAssocProfile, StraddlingReferenceProbesBothLines) {
+  // A 4-byte access at address 2 spans lines 0 and 1 (L = 4). The
+  // reference misses when either probe misses.
+  Trace t;
+  t.push(readRef(2, 4));
+  t.push(readRef(2, 4));
+  const AllAssocProfile p(t, 4, 1, 2);
+  EXPECT_EQ(p.accesses(), 2u);
+  EXPECT_EQ(p.lineProbes(), 4u);
+  // 1 way: after the first reference the cache holds line 1, so the
+  // second reference's line-0 probe misses again -> both refs miss.
+  EXPECT_EQ(p.misses(1, 1), 2u);
+  // 2 ways: both lines resident, second reference hits.
+  EXPECT_EQ(p.misses(1, 2), 1u);
+  EXPECT_EQ(p.lineFills(1, 2), 2u);  // the two cold fills
+  EXPECT_EQ(p.lineFills(1, 1), 4u);  // every probe refills
+}
+
+TEST(AllAssocProfile, WriteThroughMemWritesCountWriteProbes) {
+  Trace t;
+  t.push(writeRef(0, 4));   // 1 probe
+  t.push(writeRef(2, 4));   // straddles: 2 probes
+  t.push(readRef(0, 4));    // reads never write memory
+  const AllAssocProfile p(t, 4, 1, 2);
+  EXPECT_EQ(p.writes(), 2u);
+  EXPECT_EQ(p.reads(), 1u);
+  const CacheStats wt = p.stats(1, 2, WritePolicy::WriteThrough);
+  EXPECT_EQ(wt.memWrites, 3u);  // one word store per write probe
+  const CacheStats wb = p.stats(1, 2, WritePolicy::WriteBack);
+  EXPECT_EQ(wb.memWrites, 0u);
+  EXPECT_EQ(wb.writebacks, 0u);  // never derivable; documented as 0
+  // Hit/miss accounting is write-policy independent.
+  EXPECT_EQ(wt.misses(), wb.misses());
+}
+
+TEST(AllAssocProfile, StatsMatchCacheSimOnRandomTraces) {
+  // The full stats() surface against the simulator over the whole
+  // (sets, ways) grid, write-back and write-through, random streams.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Trace trace = randomCheckTrace(seed, 200, 700);
+    const std::uint32_t lineBytes = (seed % 2 == 0) ? 8u : 16u;
+    const AllAssocProfile p(trace, lineBytes, 8, 4);
+    for (const std::uint32_t sets : {1u, 2u, 4u, 8u}) {
+      for (const std::uint32_t assoc : {1u, 2u, 4u}) {
+        for (const WritePolicy wp :
+             {WritePolicy::WriteBack, WritePolicy::WriteThrough}) {
+          CacheConfig c;
+          c.lineBytes = lineBytes;
+          c.associativity = assoc;
+          c.sizeBytes = lineBytes * sets * assoc;
+          c.writePolicy = wp;
+          CacheStats sim = simulateTrace(c, trace);
+          sim.writebacks = 0;  // the one field the analysis cannot see
+          const CacheStats got = p.stats(sets, assoc, wp);
+          ASSERT_EQ(got.reads, sim.reads);
+          ASSERT_EQ(got.writes, sim.writes);
+          ASSERT_EQ(got.readHits, sim.readHits)
+              << "seed " << seed << " " << c.label();
+          ASSERT_EQ(got.readMisses, sim.readMisses)
+              << "seed " << seed << " " << c.label();
+          ASSERT_EQ(got.writeHits, sim.writeHits)
+              << "seed " << seed << " " << c.label();
+          ASSERT_EQ(got.writeMisses, sim.writeMisses)
+              << "seed " << seed << " " << c.label();
+          ASSERT_EQ(got.lineFills, sim.lineFills)
+              << "seed " << seed << " " << c.label();
+          ASSERT_EQ(got.memWrites, sim.memWrites)
+              << "seed " << seed << " " << c.label();
+          ASSERT_EQ(got.writebacks, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(AllAssocProfile, RejectsBadArguments) {
+  Trace t;
+  t.push(readRef(0));
+  EXPECT_THROW(AllAssocProfile(t, 12, 4, 2), ContractViolation);
+  EXPECT_THROW(AllAssocProfile(t, 8, 3, 2), ContractViolation);
+  EXPECT_THROW(AllAssocProfile(t, 8, 4, 0), ContractViolation);
+
+  const AllAssocProfile p(t, 8, 4, 2);
+  EXPECT_THROW((void)p.misses(3, 1), ContractViolation);   // not pow2
+  EXPECT_THROW((void)p.misses(8, 1), ContractViolation);   // > maxSets
+  EXPECT_THROW((void)p.misses(1, 0), ContractViolation);   // ways < 1
+  EXPECT_THROW((void)p.misses(1, 3), ContractViolation);   // > maxAssoc
+
+  Trace bad;
+  bad.push(MemRef{0, 0, AccessType::Read});
+  EXPECT_THROW(AllAssocProfile(bad, 8, 1, 1), ContractViolation);
+}
+
+// --- StackDistSim ----------------------------------------------------
+
+TEST(StackDistSim, MatchesMultiCacheSimAcrossRandomLruBanks) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    // Mixed line sizes in one bank exercise the per-line-size grouping.
+    const std::vector<CacheConfig> bank = {
+        randomLruCacheConfig(seed),
+        randomLruCacheConfig(seed + 1000),
+        randomLruCacheConfig(seed + 2000),
+    };
+    const Trace trace = randomCheckTrace(seed, 200, 800);
+
+    StackDistSim analytic(bank);
+    analytic.run(trace);
+    MultiCacheSim simulated(bank);
+    simulated.run(trace);
+
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      CacheStats want = simulated.stats(i);
+      want.writebacks = 0;
+      const CacheStats& got = analytic.stats(i);
+      ASSERT_EQ(got.readMisses, want.readMisses)
+          << "seed " << seed << " " << bank[i].label();
+      ASSERT_EQ(got.writeMisses, want.writeMisses)
+          << "seed " << seed << " " << bank[i].label();
+      ASSERT_EQ(got.readHits, want.readHits);
+      ASSERT_EQ(got.writeHits, want.writeHits);
+      ASSERT_EQ(got.lineFills, want.lineFills);
+      ASSERT_EQ(got.memWrites, want.memWrites);
+      ASSERT_EQ(got.writebacks, 0u);
+    }
+  }
+}
+
+TEST(StackDistSim, GroupsSharingALineSizeUseOnePass) {
+  CacheConfig a = randomLruCacheConfig(2);  // write-back variant
+  CacheConfig b = a;
+  b.associativity = 1;
+  CacheConfig c = a;
+  c.sizeBytes *= 2;
+  CacheConfig d = a;
+  d.lineBytes *= 2;
+  d.sizeBytes *= 2;
+  const StackDistSim bankSim({a, b, c, d});
+  EXPECT_EQ(bankSim.size(), 4u);
+  EXPECT_EQ(bankSim.passCount(), 2u);  // two distinct line sizes
+}
+
+TEST(StackDistSim, RejectsConfigsOutsideItsDomain) {
+  CacheConfig fifo = randomLruCacheConfig(1);
+  fifo.replacement = ReplacementPolicy::FIFO;
+  EXPECT_FALSE(StackDistSim::supports(fifo));
+  EXPECT_THROW(StackDistSim({fifo}), ContractViolation);
+
+  CacheConfig noAlloc = randomLruCacheConfig(1);
+  noAlloc.allocatePolicy = AllocatePolicy::NoWriteAllocate;
+  EXPECT_FALSE(StackDistSim::supports(noAlloc));
+  EXPECT_THROW(StackDistSim({noAlloc}), ContractViolation);
+
+  EXPECT_TRUE(StackDistSim::supports(randomLruCacheConfig(1)));
+  EXPECT_THROW(StackDistSim({}), ContractViolation);
+}
+
+TEST(StackDistSim, IsSingleShot) {
+  StackDistSim bank({randomLruCacheConfig(3)});
+  EXPECT_THROW((void)bank.stats(0), ContractViolation);  // before run()
+  const Trace trace = randomCheckTrace(3, 50, 100);
+  bank.run(trace);
+  (void)bank.stats(0);
+  EXPECT_THROW(bank.run(trace), ContractViolation);
+}
+
+TEST(StackDistSim, ConvenienceWrapperPreservesInputOrder) {
+  const std::vector<CacheConfig> bank = {randomLruCacheConfig(5),
+                                         randomLruCacheConfig(6)};
+  const Trace trace = randomCheckTrace(5, 100, 200);
+  const std::vector<CacheStats> stats = stackDistStats(bank, trace);
+  ASSERT_EQ(stats.size(), 2u);
+  StackDistSim direct(bank);
+  direct.run(trace);
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    EXPECT_EQ(stats[i].misses(), direct.stats(i).misses());
+    EXPECT_EQ(stats[i].accesses(), direct.stats(i).accesses());
+  }
+}
+
+}  // namespace
+}  // namespace memx
