@@ -3,10 +3,13 @@
 // trace every time) versus the shared-trace one-pass engine (explore()
 // and exploreParallel()), plus an instrumented parallel run with an
 // obs::Recorder attached to measure the observability layer's overhead
-// (budget: < 5%), plus a backend comparison — the same serial
+// (budget: < 5%), plus two backend comparisons — the same serial
 // shared-trace sweep forced onto SweepBackend::MultiSim versus
 // SweepBackend::StackDist (the sweep is LRU-only, so the analytic
-// backend applies; budget: >= 2x points/sec). Asserts every path
+// backend applies; budget: >= 2x points/sec), once on the paper's
+// read-only energy metric and once with write-back + write energy on
+// (exact writebacks via dirty-stack accounting; same >= 2x budget,
+// and Auto must resolve that sweep to StackDist). Asserts every path
 // produces bit-identical DesignPoint vectors, then writes
 // BENCH_sweep_speed.json with points/sec of each path and backend, the
 // speedup, the sink overhead, and the full RunReport, and
@@ -87,7 +90,10 @@ int main() {
   // engine changed — trace generation and cache simulation.
   (void)grid.planSweep(kernel, keys);
 
-  constexpr int kReps = 3;
+  // The engine paths finish in ~10 ms, so any single rep is at the mercy
+  // of one scheduler blip; best-of-9 reliably lands each timing in a
+  // quiet window (the whole bench still runs in ~2 s).
+  constexpr int kReps = 9;
 
   // Reference path: one evaluate() per key, trace regenerated per point.
   double baseSec = 1e30;
@@ -106,17 +112,11 @@ int main() {
   // Shared-trace one-pass engine, serial and parallel. Each serial rep
   // runs on a pristine copy of `grid` (warm layouts, empty trace cache)
   // so every rep generates the group traces from scratch, like the
-  // baseline regenerates its per-point traces.
+  // baseline regenerates its per-point traces. The serial timing itself
+  // happens in the interleaved backend loop below so the backend
+  // speedups pair measurements taken under the same machine conditions.
   double sharedSec = 1e30;
   std::vector<DesignPoint> sharedPts;
-  for (int rep = 0; rep < kReps; ++rep) {
-    const Explorer fresh = grid;
-    const auto t0 = std::chrono::steady_clock::now();
-    ExplorationResult r = fresh.explore(kernel);
-    sharedSec =
-        std::min(sharedSec, seconds(t0, std::chrono::steady_clock::now()));
-    sharedPts = std::move(r.points);
-  }
 
   double parSec = 1e30;
   std::vector<DesignPoint> parPts;
@@ -147,29 +147,75 @@ int main() {
   // Backend comparison: the identical serial shared-trace sweep forced
   // onto the stack-distance backend (this sweep is LRU/write-allocate
   // throughout, so the analytic engine is exact; the property suite
-  // pins bit-equality, re-asserted here).
+  // pins bit-equality, re-asserted here), once on the paper's read-only
+  // metric and once with write-back + write energy on. The write-back
+  // sweep — the one the paper's write-energy experiments run, and
+  // ineligible for the analytic backend before dirty-stack accounting —
+  // must additionally be served by StackDist under Auto.
   memx::ExploreOptions stackOptions = memx::bench::paperOptions();
   stackOptions.backend = memx::SweepBackend::StackDist;
   const Explorer stackGrid(stackOptions);
   (void)stackGrid.planSweep(kernel, keys);  // warm the layout memo too
-  double stackSec = 1e30;
-  std::vector<DesignPoint> stackPts;
-  for (int rep = 0; rep < kReps; ++rep) {
-    const Explorer fresh = stackGrid;
+
+  memx::ExploreOptions wbOptions = memx::bench::paperOptions();
+  wbOptions.includeWriteEnergy = true;  // writePolicy defaults to WriteBack
+  const bool wbAutoIsStackDist =
+      Explorer(wbOptions).resolvedBackend() == memx::SweepBackend::StackDist;
+  if (!wbAutoIsStackDist) {
+    std::cerr << "MISMATCH: Auto backend did not resolve to StackDist for "
+                 "the write-back + write-energy sweep\n";
+  }
+
+  wbOptions.backend = memx::SweepBackend::MultiSim;
+  const Explorer wbSimGrid(wbOptions);
+  (void)wbSimGrid.planSweep(kernel, keys);  // warm the layout memo
+  wbOptions.backend = memx::SweepBackend::StackDist;
+  const Explorer wbStackGrid(wbOptions);
+  (void)wbStackGrid.planSweep(kernel, keys);
+
+  // The four backend timings are interleaved inside one rep loop: each
+  // speedup pairs two ~10 ms measurements taken back to back, so both
+  // sides of a ratio see the same background-load conditions, and the
+  // budgets check the median of the per-rep ratios — separate loops
+  // (and ratios of independently-taken minima) made the speedups
+  // seesaw on a busy machine even at best-of-9.
+  auto timeExplore = [&](const Explorer& g, double& best,
+                         std::vector<DesignPoint>& pts) {
+    const Explorer fresh = g;  // warm layouts, empty trace cache
     const auto t0 = std::chrono::steady_clock::now();
     ExplorationResult r = fresh.explore(kernel);
-    stackSec =
-        std::min(stackSec, seconds(t0, std::chrono::steady_clock::now()));
-    stackPts = std::move(r.points);
+    const double sec = seconds(t0, std::chrono::steady_clock::now());
+    best = std::min(best, sec);
+    pts = std::move(r.points);
+    return sec;
+  };
+  double stackSec = 1e30, wbSimSec = 1e30, wbStackSec = 1e30;
+  std::vector<DesignPoint> stackPts, wbSimPts, wbStackPts;
+  std::vector<double> stackRatios, wbRatios;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double sharedT = timeExplore(grid, sharedSec, sharedPts);
+    const double stackT = timeExplore(stackGrid, stackSec, stackPts);
+    const double wbSimT = timeExplore(wbSimGrid, wbSimSec, wbSimPts);
+    const double wbStackT = timeExplore(wbStackGrid, wbStackSec, wbStackPts);
+    stackRatios.push_back(sharedT / stackT);
+    wbRatios.push_back(wbSimT / wbStackT);
   }
 
   const bool ok = identical(baseline, sharedPts, "explore") &&
                   identical(baseline, parPts, "exploreParallel") &&
                   identical(baseline, obsPts, "exploreParallel+recorder") &&
-                  identical(baseline, stackPts, "explore+stackdist");
+                  identical(baseline, stackPts, "explore+stackdist") &&
+                  identical(wbSimPts, wbStackPts,
+                            "writeback+write-energy stackdist") &&
+                  wbAutoIsStackDist;
   const double n = static_cast<double>(keys.size());
   const double speedup = baseSec / sharedSec;
-  const double backendSpeedup = sharedSec / stackSec;
+  auto medianOf = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double backendSpeedup = medianOf(stackRatios);
+  const double wbBackendSpeedup = medianOf(wbRatios);
   const double overheadPct = 100.0 * (obsSec - parSec) / parSec;
 
   std::printf("per-point baseline : %8.3f s  (%9.1f points/s)\n", baseSec,
@@ -182,15 +228,26 @@ int main() {
               obsSec, n / obsSec, overheadPct);
   std::printf("stackdist backend  : %8.3f s  (%9.1f points/s)  %.2fx vs multisim\n",
               stackSec, n / stackSec, backendSpeedup);
+  std::printf("wb+energy multisim : %8.3f s  (%9.1f points/s)\n", wbSimSec,
+              n / wbSimSec);
+  std::printf("wb+energy stackdist: %8.3f s  (%9.1f points/s)  %.2fx vs multisim\n",
+              wbStackSec, n / wbStackSec, wbBackendSpeedup);
   std::printf("bit-identical      : %s\n", ok ? "yes" : "NO");
 
   // Budgets: the analytic backend must earn its keep on an LRU-only
-  // sweep, and the report sink must stay in the noise (absolute guard
-  // for sub-100ms runs where one scheduler blip is a large percentage).
-  const bool fastEnough = backendSpeedup >= 2.0;
-  if (!fastEnough) {
+  // sweep — both on the read-only metric and on the write-back +
+  // write-energy sweep it newly serves — and the report sink must stay
+  // in the noise (absolute guard for sub-100ms runs where one scheduler
+  // blip is a large percentage).
+  const bool fastEnough =
+      backendSpeedup >= 2.0 && wbBackendSpeedup >= 2.0;
+  if (backendSpeedup < 2.0) {
     std::cerr << "BUDGET: stackdist backend speedup " << backendSpeedup
               << "x is below the 2x floor\n";
+  }
+  if (wbBackendSpeedup < 2.0) {
+    std::cerr << "BUDGET: write-back stackdist backend speedup "
+              << wbBackendSpeedup << "x is below the 2x floor\n";
   }
   const bool lowOverhead = overheadPct < 5.0 || (obsSec - parSec) < 0.05;
   if (!lowOverhead) {
@@ -210,6 +267,11 @@ int main() {
        << ", \"instrumented_points_per_sec\": " << n / obsSec
        << ", \"stackdist_seconds\": " << stackSec
        << ", \"stackdist_points_per_sec\": " << n / stackSec
+       << ", \"writeback_multisim_seconds\": " << wbSimSec
+       << ", \"writeback_multisim_points_per_sec\": " << n / wbSimSec
+       << ", \"writeback_stackdist_seconds\": " << wbStackSec
+       << ", \"writeback_stackdist_points_per_sec\": " << n / wbStackSec
+       << ", \"writeback_backend_speedup\": " << wbBackendSpeedup
        << ", \"speedup\": " << speedup
        << ", \"backend_speedup\": " << backendSpeedup
        << ", \"sink_overhead_pct\": " << overheadPct

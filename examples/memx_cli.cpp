@@ -1,7 +1,7 @@
 // memx_cli — command-line front end to the exploration library.
 //
 //   memx_cli explore <kernel> [--em <nJ>] [--no-layout] [--csv]
-//                    [--backend <auto|multisim|stackdist>]
+//                    [--write-energy] [--backend <auto|multisim|stackdist>]
 //   memx_cli simulate <din-file> --cache <C..L..[S..]>
 //   memx_cli layout <kernel> --cache <C..L..>
 //   memx_cli icache <kernel>
@@ -70,6 +70,7 @@ struct Args {
   double em = 4.95;
   bool noLayout = false;
   bool csv = false;
+  bool writeEnergy = false;
   std::optional<std::string> cacheLabel;
   std::uint32_t lineBytes = 8;
   SweepBackend backend = SweepBackend::Auto;
@@ -91,6 +92,8 @@ Args parseArgs(int argc, char** argv) {
       args.noLayout = true;
     } else if (arg == "--csv") {
       args.csv = true;
+    } else if (arg == "--write-energy") {
+      args.writeEnergy = true;
     } else if (arg == "--cache") {
       args.cacheLabel = value();
     } else if (arg == "--line") {
@@ -128,6 +131,10 @@ int cmdExplore(const Args& args) {
   ExploreOptions options;
   options.energy.emNj = args.em;
   options.optimizeLayout = !args.noLayout;
+  // Write-back is the default write policy, so --write-energy exercises
+  // the writeback-charging metric — served analytically by the
+  // stackdist backend via its dirty-stack accounting.
+  options.includeWriteEnergy = args.writeEnergy;
   options.backend = args.backend;
   const Explorer explorer(options);
   emitResult(explorer.explore(kernel), args.csv);

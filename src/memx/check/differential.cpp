@@ -167,27 +167,25 @@ std::string diffAllPaths(const DiffCase& c, const Trace& trace) {
 
   // Path 6: stack-distance bank. c.lru is always in StackDistSim's
   // domain; its fully-associative and direct-mapped siblings ride in
-  // the same bank so one profile is read at three (sets, ways) corners.
-  // Misses must match BOTH the oracle and the production simulator
-  // exactly; `writebacks` is the one field the analysis cannot produce
-  // (reported 0), so the expectation is masked to 0 for write-back
-  // configs — all other fields, including write-through memWrites,
-  // must agree to the last count.
+  // the same bank so one profile is read at three (sets, ways) corners,
+  // and a write-back sibling guarantees every case exercises the
+  // dirty-stack accounting even when c.lru drew write-through. Every
+  // field must match BOTH the oracle and the production simulator
+  // exactly — including write-back `writebacks` (dirty-stack
+  // accounting) and write-through memWrites; nothing is masked.
   {
     CacheConfig fa = c.lru;
     fa.associativity = fa.numLines();
     CacheConfig dm = c.lru;
     dm.associativity = 1;
-    const std::vector<CacheConfig> bank = {c.lru, fa, dm};
+    CacheConfig wb = c.lru;
+    wb.writePolicy = WritePolicy::WriteBack;
+    const std::vector<CacheConfig> bank = {c.lru, fa, dm, wb};
     StackDistSim stackBank(bank);
     stackBank.run(trace);
     for (std::size_t i = 0; i < bank.size(); ++i) {
-      CacheStats oracleStats = refSimulateTrace(bank[i], trace);
-      CacheStats simStats = simulateTrace(bank[i], trace);
-      if (bank[i].writePolicy == WritePolicy::WriteBack) {
-        oracleStats.writebacks = 0;
-        simStats.writebacks = 0;
-      }
+      const CacheStats oracleStats = refSimulateTrace(bank[i], trace);
+      const CacheStats simStats = simulateTrace(bank[i], trace);
       const std::string path = "StackDist[" + std::to_string(i) + "]";
       std::string d =
           diffStats(path + " vs RefCacheSim", oracleStats,

@@ -98,22 +98,20 @@ Explorer::Explorer(ExploreOptions options)
   options_.energy.validate();
   MEMX_EXPECTS(options_.backend != SweepBackend::StackDist ||
                    stackDistEligible(),
-               "SweepBackend::StackDist requires LRU replacement and an "
-               "energy metric that never reads writebacks "
-               "(includeWriteEnergy implies write-through); use "
-               "SweepBackend::Auto to fall back to simulation");
+               "SweepBackend::StackDist requires LRU replacement "
+               "(write policy and includeWriteEnergy are unrestricted: "
+               "dirty-stack accounting makes write-back writeback counts "
+               "exact); use SweepBackend::Auto to fall back to simulation");
 }
 
 bool Explorer::stackDistEligible() const noexcept {
-  if (options_.replacement != ReplacementPolicy::LRU) return false;
-  // configFor() always leaves allocatePolicy at WriteAllocate, so the
-  // only remaining question is whether every statistic the models read
-  // is stack-distance-derivable. With the read-only energy metric that
-  // is just accesses + miss rate; totalIncludingWritesNj additionally
-  // reads memWrites and writebacks, which are exact only under
-  // write-through (where writebacks cannot occur).
-  return !options_.includeWriteEnergy ||
-         options_.writePolicy == WritePolicy::WriteThrough;
+  // configFor() always leaves allocatePolicy at WriteAllocate, so LRU
+  // replacement is the whole domain check. Every statistic the models
+  // read is stack-distance-derivable for both write policies:
+  // write-through memWrites are one word store per write probe, and
+  // write-back writebacks fall out of the profile's dirty-stack
+  // accounting, so includeWriteEnergy no longer forces simulation.
+  return options_.replacement == ReplacementPolicy::LRU;
 }
 
 SweepBackend Explorer::resolvedBackend() const noexcept {
@@ -344,6 +342,14 @@ void Explorer::evaluateGroup(const SweepPlan::Group& group,
       // versus the trace.size() * configs a simulating backend pays.
       recorder_->counter("stackdist.accesses")
           .add(trace.size() * bank.passCount());
+      // Dirty evictions the analytic pass charged across the group's
+      // member configs (0 for write-through runs, where lines never
+      // dirty) — the write-back traffic the energy model sees.
+      std::uint64_t dirtyEvictions = 0;
+      for (std::size_t j = 0; j < group.keyIndices.size(); ++j) {
+        dirtyEvictions += bank.stats(j).writebacks;
+      }
+      recorder_->counter("stackdist.dirty_evictions").add(dirtyEvictions);
     }
     return;
   }

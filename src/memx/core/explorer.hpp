@@ -71,7 +71,8 @@ enum class SweepBackend : std::uint8_t {
   /// cost scales with the number of configurations.
   MultiSim,
   /// Stack-distance analysis (StackDistSim): one profile per line size
-  /// serves every (T, S) at once. Exact for LRU/write-allocate; an
+  /// serves every (T, S) at once. Exact for LRU/write-allocate under
+  /// both write policies (dirty-stack accounting covers write-back); an
   /// Explorer constructed with this backend forced outside that domain
   /// throws.
   StackDist,
@@ -213,10 +214,10 @@ public:
                      std::vector<DesignPoint>& out) const;
 
   /// True iff the configured policies are in the stack-distance domain:
-  /// LRU replacement (configFor always uses write-allocate fills), and
-  /// an energy metric that never reads writeback counts — stack-distance
-  /// analysis cannot produce them (write-through has none, so
-  /// includeWriteEnergy stays exact there).
+  /// LRU replacement (configFor always uses write-allocate fills).
+  /// Write policy and includeWriteEnergy are unrestricted — the
+  /// profile's dirty-stack accounting yields exact write-back writeback
+  /// counts, so write-energy sweeps stay analytic too.
   [[nodiscard]] bool stackDistEligible() const noexcept;
 
   /// The engine sweeps will actually use: Auto resolves to StackDist

@@ -22,9 +22,23 @@
 // The profile is exact — not an estimate — for LRU replacement with
 // write-allocate fills, where every probe (hit or fill) refreshes
 // recency and the set therefore holds exactly the maxAssoc most
-// recently touched lines mapping to it. See StackDistSim for the
-// config-facing wrapper and `docs/TESTING.md` for the oracle layers
-// that pin this equivalence.
+// recently touched lines mapping to it.
+//
+// Write-back traffic falls out of the same pass (dirty-stack
+// accounting): by inclusion, a resident line's dirty state is monotone
+// in associativity — it entered the A'-way cache no later than the
+// A-way one for A' > A, so "written since fill" at A implies it at A'.
+// Each recency entry therefore carries one threshold (the smallest
+// associativity at which it is dirty): a write touch lowers it to 1
+// everywhere (hits dirty the line, write-allocate fills insert it
+// dirty), a read touch at stack distance d refills caches with A <= d
+// clean (threshold raised to d+1). A displaced entry rippling from
+// depth d to d+1 is exactly an eviction from the (d+1)-way cache, so
+// comparing its threshold against d+1 during the scan yields the exact
+// per-associativity writeback count with no extra passes. Lines still
+// dirty when the trace ends are never written back, matching CacheSim.
+// See StackDistSim for the config-facing wrapper and `docs/TESTING.md`
+// for the oracle layers that pin this equivalence.
 #pragma once
 
 #include <cstdint>
@@ -76,15 +90,20 @@ public:
   /// Line fills (one per missing probe; write-allocate fills included).
   [[nodiscard]] std::uint64_t lineFills(std::uint32_t numSets,
                                         std::uint32_t assoc) const;
+  /// Exact count of dirty lines a write-back LRU write-allocate cache
+  /// with this geometry evicts (and hence writes back) over the trace.
+  /// Dirty lines still resident at trace end are not counted — CacheSim
+  /// does not flush either.
+  [[nodiscard]] std::uint64_t writebacks(std::uint32_t numSets,
+                                         std::uint32_t assoc) const;
 
   /// CacheStats exactly as CacheSim would report them for an LRU
-  /// write-allocate cache with this geometry — for every field a stack
-  /// distance determines. `writebacks` is always 0: dirty-eviction
-  /// counting needs per-configuration fill state, which is precisely
-  /// what this analysis avoids (write-through caches genuinely have
-  /// none; write-back callers needing it must simulate). `memWrites` is
-  /// exact for write-through (one word store per write probe) and
-  /// exactly 0 for write-back with write-allocate.
+  /// write-allocate cache with this geometry — every field, both write
+  /// policies. `writebacks` is the exact dirty-eviction count under
+  /// write-back (see writebacks(); structurally 0 under write-through,
+  /// where lines never dirty). `memWrites` is exact for write-through
+  /// (one word store per write probe) and exactly 0 for write-back with
+  /// write-allocate, both as CacheSim reports them.
   [[nodiscard]] CacheStats stats(std::uint32_t numSets, std::uint32_t assoc,
                                  WritePolicy writePolicy) const;
 
@@ -100,6 +119,25 @@ private:
                                       unsigned level,
                                       std::uint32_t assoc) const;
 
+  /// Packed profiling pass: each recency entry carries its dirty
+  /// threshold in the top byte of the 64-bit key slot, so the ripple
+  /// scan streams one array instead of a keys array plus a parallel
+  /// thresholds array. Requires maxAssoc_ <= 254 (threshold fits a
+  /// byte) and every touched line index below 2^56 - 1 (key = line + 1
+  /// fits the low 56 bits); returns false without completing when a
+  /// reference breaks the address bound, and the constructor restarts
+  /// on the split-array fallback. Defined in all_assoc.cpp.
+  [[nodiscard]] bool buildProfilePacked(const Trace& trace,
+                                        std::uint64_t totalSlots);
+
+  /// Split-array profiling pass, parameterized on the dirty-threshold
+  /// element type (uint8_t whenever maxAssoc_ <= 254, else uint32_t):
+  /// the general fallback for geometries or address ranges the packed
+  /// pass cannot encode. Defined in all_assoc.cpp; only the constructor
+  /// instantiates it.
+  template <typename DirtyT>
+  void buildProfile(const Trace& trace, std::uint64_t totalSlots);
+
   std::uint32_t lineBytes_ = 0;
   std::uint32_t maxAssoc_ = 0;
   unsigned lineShift_ = 0;
@@ -109,6 +147,11 @@ private:
   std::vector<std::uint64_t> refHistRead_;   ///< per-reference worst bucket
   std::vector<std::uint64_t> refHistWrite_;
   std::vector<std::uint64_t> lineHist_;      ///< per-line-probe bucket
+  /// Dirty evictions per exact associativity (slot a in [1, maxAssoc]
+  /// counts writebacks of the a-way cache; slot 0 unused). A direct
+  /// per-assoc count, not a tail distribution: an entry crossing depth
+  /// a-1 -> a leaves exactly the a-way cache.
+  std::vector<std::uint64_t> dirtyEvictHist_;
 
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;

@@ -11,7 +11,8 @@
 //
 // Only LRU replacement with write-allocate fills is in the analysis'
 // domain (supports() is the eligibility predicate Explorer uses to pick
-// a backend); writebacks are reported as 0 — see AllAssocProfile::stats.
+// a backend). Both write policies are exact, including write-back
+// dirty-eviction counts — see AllAssocProfile's dirty-stack accounting.
 #pragma once
 
 #include <cstdint>
@@ -34,8 +35,9 @@ public:
 
   /// True iff stack-distance analysis yields exact statistics for
   /// `config`: LRU replacement with write-allocate fills. (Geometry is
-  /// unrestricted; write policy only scales memory traffic, which the
-  /// profile tracks exactly.)
+  /// unrestricted; both write policies are exact — write-through word
+  /// stores and write-back dirty evictions alike fall out of the
+  /// profile's single pass.)
   [[nodiscard]] static bool supports(const CacheConfig& config) noexcept {
     return config.replacement == ReplacementPolicy::LRU &&
            config.allocatePolicy == AllocatePolicy::WriteAllocate;
@@ -76,7 +78,7 @@ private:
 
 /// Convenience: evaluate `trace` against every config analytically,
 /// returning the per-config statistics in input order. Exactly matches
-/// simulateTraceMulti for supported configs, except writebacks (0).
+/// simulateTraceMulti for supported configs, every field included.
 [[nodiscard]] std::vector<CacheStats> stackDistStats(
     const std::vector<CacheConfig>& configs, const Trace& trace);
 

@@ -226,53 +226,76 @@ TEST(Properties, StackDistBackendBitIdenticalToMultiSimOnGoldenCorpus) {
   options.ranges.maxAssociativity = 4;
   options.ranges.maxTiling = 4;
 
-  ExploreOptions stackOptions = options;
-  stackOptions.backend = SweepBackend::StackDist;
-  ExploreOptions simOptions = options;
-  simOptions.backend = SweepBackend::MultiSim;
-
   const Kernel kernels[] = {compressKernel(), matrixAddKernel(8),
                             dequantKernel(16), transposeKernel(16)};
-  for (const Kernel& kernel : kernels) {
-    const ExplorationResult analytic =
-        Explorer(stackOptions).explore(kernel);
-    const ExplorationResult simulated =
-        Explorer(simOptions).explore(kernel);
-    ASSERT_EQ(analytic.points.size(), simulated.points.size());
-    ASSERT_FALSE(analytic.points.empty());
-    for (std::size_t i = 0; i < analytic.points.size(); ++i) {
-      const DesignPoint& a = analytic.points[i];
-      const DesignPoint& s = simulated.points[i];
-      ASSERT_EQ(a.key, s.key) << kernel.name;
-      EXPECT_EQ(a.accesses, s.accesses) << kernel.name << " " << a.label();
-      // Bit-identical, not approximately equal.
-      EXPECT_EQ(a.missRate, s.missRate) << kernel.name << " " << a.label();
-      EXPECT_EQ(a.cycles, s.cycles) << kernel.name << " " << a.label();
-      EXPECT_EQ(a.energyNj, s.energyNj) << kernel.name << " " << a.label();
+  // The write-energy metric reads memWrites and writebacks, so the
+  // second pass (write-back + includeWriteEnergy, newly analytic via
+  // dirty-stack accounting) pins the writeback counts bit-for-bit
+  // through the energy totals; the first is the paper's read-only model.
+  for (const bool writeEnergy : {false, true}) {
+    options.includeWriteEnergy = writeEnergy;
+    options.writePolicy = WritePolicy::WriteBack;
+    ExploreOptions stackOptions = options;
+    stackOptions.backend = SweepBackend::StackDist;
+    ExploreOptions simOptions = options;
+    simOptions.backend = SweepBackend::MultiSim;
+
+    for (const Kernel& kernel : kernels) {
+      const ExplorationResult analytic =
+          Explorer(stackOptions).explore(kernel);
+      const ExplorationResult simulated =
+          Explorer(simOptions).explore(kernel);
+      ASSERT_EQ(analytic.points.size(), simulated.points.size());
+      ASSERT_FALSE(analytic.points.empty());
+      for (std::size_t i = 0; i < analytic.points.size(); ++i) {
+        const DesignPoint& a = analytic.points[i];
+        const DesignPoint& s = simulated.points[i];
+        ASSERT_EQ(a.key, s.key) << kernel.name;
+        EXPECT_EQ(a.accesses, s.accesses)
+            << kernel.name << " " << a.label();
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(a.missRate, s.missRate)
+            << kernel.name << " " << a.label();
+        EXPECT_EQ(a.cycles, s.cycles) << kernel.name << " " << a.label();
+        EXPECT_EQ(a.energyNj, s.energyNj)
+            << kernel.name << " writeEnergy=" << writeEnergy << " "
+            << a.label();
+      }
     }
   }
 }
 
 // An Explorer whose options force StackDist outside its domain must be
-// rejected at construction, not silently fall back.
+// rejected at construction, not silently fall back — and the domain is
+// now exactly "LRU replacement": dirty-stack accounting made write-back
+// + write-energy sweeps analytic, so only the replacement policy gates.
 TEST(Properties, ForcedStackDistBackendRejectsIneligibleOptions) {
   ExploreOptions options;
   options.backend = SweepBackend::StackDist;
   options.replacement = ReplacementPolicy::FIFO;
   EXPECT_THROW(Explorer{options}, ContractViolation);
 
+  // LRU + write-back + write energy used to be rejected (writebacks
+  // were not derivable); with dirty-stack accounting it is eligible.
   options.replacement = ReplacementPolicy::LRU;
   options.includeWriteEnergy = true;
   options.writePolicy = WritePolicy::WriteBack;
-  EXPECT_THROW(Explorer{options}, ContractViolation);
+  EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
 
-  // Write-through keeps includeWriteEnergy exact: eligible again.
+  // Write-through with write energy stays eligible as before.
   options.writePolicy = WritePolicy::WriteThrough;
   EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
 
-  // Auto quietly falls back to simulation for the same options.
+  // Auto now picks StackDist for the write-back write-energy sweep too
+  // (this was the MultiSim fallback before the accounting landed)...
   options.backend = SweepBackend::Auto;
   options.writePolicy = WritePolicy::WriteBack;
+  EXPECT_TRUE(Explorer(options).stackDistEligible());
+  EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
+
+  // ...while non-LRU replacement still falls back to simulation.
+  options.replacement = ReplacementPolicy::TreePLRU;
+  EXPECT_FALSE(Explorer(options).stackDistEligible());
   EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::MultiSim);
 }
 
