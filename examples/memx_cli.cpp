@@ -2,6 +2,8 @@
 //
 //   memx_cli explore <kernel> [--em <nJ>] [--no-layout] [--csv]
 //                    [--write-energy] [--backend <auto|multisim|stackdist>]
+//                    [--search [--joint] [--seed <n>] [--pop <n>]
+//                     [--gens <n>] [--budget <n>]]
 //   memx_cli simulate <din-file> --cache <C..L..[S..]>
 //   memx_cli layout <kernel> --cache <C..L..>
 //   memx_cli icache <kernel>
@@ -29,6 +31,8 @@
 #include "memx/loopir/kernel_parser.hpp"
 #include "memx/loopir/trace_gen.hpp"
 #include "memx/report/table.hpp"
+#include "memx/search/front_io.hpp"
+#include "memx/search/nsga.hpp"
 #include "memx/spm/spm_explorer.hpp"
 #include "memx/trace/din_io.hpp"
 #include "memx/trace/working_set.hpp"
@@ -74,6 +78,9 @@ struct Args {
   std::optional<std::string> cacheLabel;
   std::uint32_t lineBytes = 8;
   SweepBackend backend = SweepBackend::Auto;
+  bool search = false;
+  bool joint = false;
+  search::SearchOptions searchOptions;
 };
 
 Args parseArgs(int argc, char** argv) {
@@ -100,6 +107,20 @@ Args parseArgs(int argc, char** argv) {
       args.lineBytes = static_cast<std::uint32_t>(std::stoul(value()));
     } else if (arg == "--backend") {
       args.backend = parseSweepBackend(value());
+    } else if (arg == "--search") {
+      args.search = true;
+    } else if (arg == "--joint") {
+      args.joint = true;
+    } else if (arg == "--seed") {
+      args.searchOptions.seed = std::stoull(value());
+    } else if (arg == "--pop") {
+      args.searchOptions.populationSize =
+          static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--gens") {
+      args.searchOptions.generations =
+          static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--budget") {
+      args.searchOptions.maxEvaluations = std::stoull(value());
     } else {
       args.positional.push_back(arg);
     }
@@ -126,6 +147,35 @@ void emitResult(const ExplorationResult& result, bool csv) {
             << fmtSig3(minC->cycles) << ")\n";
 }
 
+void emitFront(const search::SearchResult& result, bool csv) {
+  if (csv) {
+    std::vector<search::FrontRow> rows;
+    rows.reserve(result.front.size());
+    for (const search::SearchPoint& p : result.front) {
+      rows.push_back(search::toFrontRow(result.workload, p));
+    }
+    search::writeFrontCsv(std::cout, rows);
+    return;
+  }
+  Table t({"config", "policies", "layout", "L2", "energy (nJ)", "cycles",
+           "size (RBE)"});
+  for (const search::SearchPoint& p : result.front) {
+    t.addRow({p.decoded.key.label(),
+              std::string(toString(p.decoded.replacement)) + "/" +
+                  toString(p.decoded.writePolicy),
+              p.decoded.optimizeLayout ? "opt" : "tight",
+              p.decoded.l2 ? p.decoded.l2->label() : "-",
+              fmtSig3(p.objectives[0]), fmtSig3(p.objectives[1]),
+              fmtSig3(p.objectives[2])});
+  }
+  std::cout << t << "\nfront: " << result.front.size() << " points, "
+            << result.evaluations << " evaluations (" << result.cacheHits
+            << " cache hits) over " << result.spaceSize
+            << "-genome space in " << result.generations
+            << " generations; " << (result.exact ? "exact" : "approximate")
+            << '\n';
+}
+
 int cmdExplore(const Args& args) {
   const Kernel kernel = kernelByName(args.positional.at(1));
   ExploreOptions options;
@@ -137,6 +187,25 @@ int cmdExplore(const Args& args) {
   options.includeWriteEnergy = args.writeEnergy;
   options.backend = args.backend;
   const Explorer explorer(options);
+  if (args.search) {
+    search::SearchOptions searchOptions = args.searchOptions;
+    if (args.joint) {
+      // Joint space: every replacement and write policy, both layout
+      // choices, and an optional L2 at 4x the largest L1 capacity.
+      search::DesignSpaceOptions space;
+      space.ranges = options.ranges;
+      space.replacements = {
+          ReplacementPolicy::LRU, ReplacementPolicy::FIFO,
+          ReplacementPolicy::Random, ReplacementPolicy::TreePLRU};
+      space.writePolicies = {WritePolicy::WriteBack,
+                             WritePolicy::WriteThrough};
+      space.sweepLayout = true;
+      space.l2CapacityBytes = {4 * space.ranges.maxCacheBytes};
+      searchOptions.space = space;
+    }
+    emitFront(explorer.searchPareto(kernel, searchOptions), args.csv);
+    return 0;
+  }
   emitResult(explorer.explore(kernel), args.csv);
   return 0;
 }

@@ -58,8 +58,10 @@ const DesignPoint& ExplorationResult::at(const ConfigKey& key) const {
 
 const DesignPoint* ExplorationResult::find(const ConfigKey& key) const {
   if (!indexBuilt_ || indexedGeneration_ != generation_ ||
-      index_.size() != points.size()) {
+      index_.size() > points.size()) {
     rebuildIndex();
+  } else if (index_.size() < points.size()) {
+    appendToIndex();
   }
   const auto lookup = [&]() {
     return std::lower_bound(
@@ -90,6 +92,24 @@ void ExplorationResult::rebuildIndex() const {
   std::sort(index_.begin(), index_.end());
   indexedGeneration_ = generation_;
   indexBuilt_ = true;
+  ++indexRebuilds_;
+}
+
+void ExplorationResult::appendToIndex() const {
+  const std::size_t start = index_.size();
+  index_.reserve(points.size());
+  for (std::size_t i = start; i < points.size(); ++i) {
+    index_.emplace_back(points[i].key, i);
+  }
+  // (key, position) pairs: sorting the tail and merging keeps equal
+  // keys ordered by position, exactly like a full rebuild, so find()
+  // still returns the first occurrence.
+  std::sort(index_.begin() + static_cast<std::ptrdiff_t>(start),
+            index_.end());
+  std::inplace_merge(index_.begin(),
+                     index_.begin() + static_cast<std::ptrdiff_t>(start),
+                     index_.end());
+  ++indexAppends_;
 }
 
 Explorer::Explorer(ExploreOptions options)

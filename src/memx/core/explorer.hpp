@@ -46,6 +46,11 @@ namespace obs {
 class Recorder;
 }  // namespace obs
 
+namespace search {
+struct SearchOptions;
+struct SearchResult;
+}  // namespace search
+
 /// Power-of-two sweep bounds of the MemExplore loops.
 struct ExploreRanges {
   std::uint32_t onChipBytes = 1024;   ///< M: upper limit on cache size
@@ -115,10 +120,14 @@ struct ExplorationResult {
   /// Point with the given key, if visited. Backed by a lazily built
   /// sorted index, so repeated lookups over a full sweep are O(log n)
   /// instead of a linear scan. Not noexcept: the rebuild allocates.
-  /// The index is rebuilt when `points` changed size, when
-  /// invalidateIndex() was called, or when the indexed entry no longer
-  /// matches its point (in-place key mutation is detected on lookup
-  /// rather than silently returning the wrong point).
+  /// When `points` only grew since the last lookup, the new tail is
+  /// sorted and merged into the index instead of rebuilding it from
+  /// scratch — incremental archives (searchPareto evaluates in many
+  /// small batches) stay O(new + merge) per batch, not O(n log n).
+  /// A full rebuild happens when invalidateIndex() was called, when
+  /// `points` shrank, or when an indexed entry no longer matches its
+  /// point (in-place key mutation is detected on lookup rather than
+  /// silently returning the wrong point).
   [[nodiscard]] const DesignPoint* find(const ConfigKey& key) const;
 
   /// Declare the index stale after mutating `points` in place (for
@@ -127,8 +136,21 @@ struct ExplorationResult {
   /// find() rebuilds instead of consulting stale entries.
   void invalidateIndex() noexcept { ++generation_; }
 
+  /// Full index rebuilds performed so far (diagnostic: a growing
+  /// archive should append, not rebuild — see the regression test).
+  [[nodiscard]] std::uint64_t indexRebuilds() const noexcept {
+    return indexRebuilds_;
+  }
+  /// Incremental merges of appended points into the index.
+  [[nodiscard]] std::uint64_t indexAppends() const noexcept {
+    return indexAppends_;
+  }
+
 private:
   void rebuildIndex() const;
+  /// Index only the points appended since the index was built and
+  /// merge them in (requires a current index that is a prefix view).
+  void appendToIndex() const;
 
   /// (key, position) pairs sorted lexicographically; duplicate keys keep
   /// their points order so find() returns the first occurrence.
@@ -138,6 +160,8 @@ private:
   std::uint64_t generation_ = 0;
   mutable std::uint64_t indexedGeneration_ = 0;
   mutable bool indexBuilt_ = false;
+  mutable std::uint64_t indexRebuilds_ = 0;
+  mutable std::uint64_t indexAppends_ = 0;
 };
 
 /// A sweep restructured for shared-trace evaluation: the key grid plus
@@ -188,6 +212,18 @@ public:
   /// Run the full MemExplore sweep over `kernel` on the shared-trace
   /// one-pass engine. Bit-identical to calling evaluate() per sweep key.
   [[nodiscard]] ExplorationResult explore(const Kernel& kernel) const;
+
+  /// Multi-objective NSGA-II search over the joint design space,
+  /// returning a Pareto front over (energy, cycles, size) instead of a
+  /// grid of points. By default the space is this explorer's own
+  /// single-level (T, L, S, B) range with its configured policies and
+  /// layout choice; SearchOptions::space widens it to joint
+  /// policy/layout/L2 spaces. Evaluations route through the same
+  /// planSweep machinery as explore(), so fronts are bit-identical
+  /// across sweep backends and deterministic per seed. Defined in
+  /// memx/search (link memx_search or the umbrella `memx` target).
+  [[nodiscard]] search::SearchResult searchPareto(
+      const Kernel& kernel, const search::SearchOptions& options) const;
 
   /// Every (T, L, S, B) coordinate the configured ranges visit.
   [[nodiscard]] std::vector<ConfigKey> sweepKeys() const;

@@ -1,0 +1,199 @@
+#include "memx/search/evaluator.hpp"
+
+#include <utility>
+
+#include "memx/cachesim/hierarchy.hpp"
+#include "memx/core/hierarchy_explorer.hpp"
+#include "memx/energy/area_model.hpp"
+#include "memx/obs/recorder.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx::search {
+
+namespace {
+
+std::uint8_t geneOf(const Genome& g, Gene which) {
+  return g[static_cast<std::size_t>(which)];
+}
+
+}  // namespace
+
+SearchEvaluator::SearchEvaluator(Kernel kernel, const DesignSpace& space,
+                                 ExploreOptions base,
+                                 obs::Recorder* recorder)
+    : kernel_(std::move(kernel)),
+      space_(space),
+      base_(std::move(base)),
+      recorder_(recorder) {
+  base_.ranges = space_.options().ranges;
+}
+
+SearchEvaluator::ComboState& SearchEvaluator::comboFor(const Genome& g) {
+  const ComboKey key{geneOf(g, Gene::Replacement),
+                     geneOf(g, Gene::WritePolicy), geneOf(g, Gene::Layout)};
+  auto it = combos_.find(key);
+  if (it != combos_.end()) return it->second;
+
+  ExploreOptions options = base_;
+  options.replacement = space_.options().replacements[key[0]];
+  options.writePolicy = space_.options().writePolicies[key[1]];
+  options.optimizeLayout = space_.decode(g).optimizeLayout;
+  // A forced MultiSim stays forced; Auto and a forced StackDist both
+  // resolve per combo (LRU combos analytic, others simulated) so a
+  // FIFO combo never trips the StackDist eligibility check.
+  options.backend = base_.backend == SweepBackend::MultiSim
+                        ? SweepBackend::MultiSim
+                        : SweepBackend::Auto;
+  ComboState state;
+  state.explorer = std::make_unique<Explorer>(std::move(options));
+  state.explorer->setRecorder(recorder_);
+  return combos_.emplace(key, std::move(state)).first->second;
+}
+
+Objectives SearchEvaluator::toObjectives(const DesignPoint& point,
+                                         const JointPoint& decoded) const {
+  CacheConfig l1;
+  l1.sizeBytes = decoded.key.cacheBytes;
+  l1.lineBytes = decoded.key.lineBytes;
+  l1.associativity = decoded.key.associativity;
+  double sizeRbe = estimateArea(l1).totalRbe();
+  if (decoded.l2) sizeRbe += estimateArea(*decoded.l2).totalRbe();
+  return Objectives{point.energyNj, point.cycles, sizeRbe};
+}
+
+const ExplorationResult* SearchEvaluator::archive(
+    std::uint8_t replacementIdx, std::uint8_t writePolicyIdx,
+    std::uint8_t layoutIdx, std::uint8_t l2Idx) const {
+  const auto combo =
+      combos_.find(ComboKey{replacementIdx, writePolicyIdx, layoutIdx});
+  if (combo == combos_.end()) return nullptr;
+  const auto arch = combo->second.archives.find(l2Idx);
+  if (arch == combo->second.archives.end()) return nullptr;
+  return &arch->second;
+}
+
+std::vector<Objectives> SearchEvaluator::evaluate(
+    const std::vector<Genome>& genomes) {
+  const obs::ScopedSpan span(recorder_, "search.evaluate_batch");
+  std::vector<Objectives> results(genomes.size());
+
+  struct Pending {
+    std::size_t outIdx = 0;
+    Genome genome{};
+    JointPoint decoded;
+  };
+  std::map<ComboKey, std::vector<Pending>> work;
+  // First occurrence of each fresh genome in this batch, so in-batch
+  // duplicates are served from the batch instead of re-entering a plan.
+  std::map<std::uint64_t, std::size_t> firstSeen;
+  std::vector<std::pair<std::size_t, std::size_t>> duplicates;
+
+  std::uint64_t hits = 0;
+  std::uint64_t fresh = 0;
+  for (std::size_t i = 0; i < genomes.size(); ++i) {
+    const Genome& g = genomes[i];
+    MEMX_EXPECTS(space_.isValid(g),
+                 "SearchEvaluator::evaluate requires valid genomes "
+                 "(repair before evaluating)");
+    JointPoint decoded = space_.decode(g);
+    ComboState& state = comboFor(g);
+    const std::uint8_t l2Idx = geneOf(g, Gene::L2);
+    const auto arch = state.archives.find(l2Idx);
+    if (arch != state.archives.end()) {
+      if (const DesignPoint* p = arch->second.find(decoded.key)) {
+        results[i] = toObjectives(*p, decoded);
+        ++hits;
+        continue;
+      }
+    }
+    const std::uint64_t packed = space_.packed(g);
+    const auto [seen, inserted] = firstSeen.try_emplace(packed, i);
+    if (!inserted) {
+      duplicates.emplace_back(i, seen->second);
+      ++hits;
+      continue;
+    }
+    const ComboKey key{geneOf(g, Gene::Replacement),
+                       geneOf(g, Gene::WritePolicy),
+                       geneOf(g, Gene::Layout)};
+    work[key].push_back(Pending{i, g, std::move(decoded)});
+    ++fresh;
+  }
+
+  for (auto& [comboKey, pending] : work) {
+    ComboState& state = combos_.at(comboKey);
+    std::vector<ConfigKey> keys;
+    keys.reserve(pending.size());
+    for (const Pending& p : pending) keys.push_back(p.decoded.key);
+    const SweepPlan plan =
+        state.explorer->planSweep(kernel_, std::move(keys));
+
+    std::vector<DesignPoint> points(plan.keys.size());
+    for (const SweepPlan::Group& group : plan.groups) {
+      auto traceIt = state.traces.find(group.traceKey);
+      if (traceIt == state.traces.end()) {
+        Trace trace =
+            state.explorer->buildGroupTrace(kernel_, group, state.patterns);
+        const double activity = state.explorer->addrActivityFor(trace);
+        traceIt = state.traces
+                      .emplace(group.traceKey,
+                               std::make_pair(std::move(trace), activity))
+                      .first;
+      }
+      const Trace& trace = traceIt->second.first;
+      const double activity = traceIt->second.second;
+
+      SweepPlan::Group singleLevel = group;
+      singleLevel.keyIndices.clear();
+      std::vector<std::size_t> twoLevel;
+      for (const std::size_t idx : group.keyIndices) {
+        if (pending[idx].decoded.l2) {
+          twoLevel.push_back(idx);
+        } else {
+          singleLevel.keyIndices.push_back(idx);
+        }
+      }
+      if (!singleLevel.keyIndices.empty()) {
+        state.explorer->evaluateGroup(singleLevel, trace, activity,
+                                      plan.keys, points);
+      }
+      for (const std::size_t idx : twoLevel) {
+        const JointPoint& decoded = pending[idx].decoded;
+        const CacheConfig l1 = state.explorer->configFor(plan.keys[idx]);
+        const HierarchyPoint hp =
+            evaluateHierarchyPoint(trace, l1, *decoded.l2, base_.energy,
+                                   HierarchyTiming{}, activity);
+        DesignPoint point;
+        point.key = plan.keys[idx];
+        point.accesses = trace.size();
+        point.missRate = hp.globalMissRate;
+        point.cycles = hp.cycles;
+        point.energyNj = hp.energyNj;
+        points[idx] = point;
+      }
+    }
+
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      const Pending& p = pending[j];
+      ExplorationResult& archive =
+          state.archives[geneOf(p.genome, Gene::L2)];
+      if (archive.workload.empty()) archive.workload = kernel_.name;
+      archive.points.push_back(points[j]);
+      results[p.outIdx] = toObjectives(points[j], p.decoded);
+    }
+  }
+
+  for (const auto& [dupIdx, srcIdx] : duplicates) {
+    results[dupIdx] = results[srcIdx];
+  }
+
+  evaluations_ += fresh;
+  cacheHits_ += hits;
+  if (recorder_ != nullptr) {
+    if (fresh != 0) recorder_->counter("search.evals").add(fresh);
+    if (hits != 0) recorder_->counter("search.cache_hits").add(hits);
+  }
+  return results;
+}
+
+}  // namespace memx::search

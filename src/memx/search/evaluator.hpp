@@ -1,0 +1,106 @@
+// Batched fitness evaluation for the search engine.
+//
+// Fresh genomes are grouped by their (replacement, write policy,
+// layout) combo — the run-global knobs of an Explorer — and each
+// combo's batch rides the existing planSweep / buildGroupTrace /
+// evaluateGroup machinery, so LRU combos are served analytically by
+// the StackDist backend and every combo shares traces across
+// generations through a per-combo trace cache. Two-level genomes reuse
+// the same shared group trace and go through evaluateHierarchyPoint.
+//
+// Results archive into per-(combo, L2 choice) ExplorationResults whose
+// sorted find-index grows incrementally with the archive — the
+// fitness cache is the archive, keyed by the canonical genome, and a
+// re-evaluated genome is a pure index lookup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "memx/core/explorer.hpp"
+#include "memx/loopir/kernel.hpp"
+#include "memx/search/design_space.hpp"
+#include "memx/search/dominance.hpp"
+
+namespace memx {
+namespace obs {
+class Recorder;
+}  // namespace obs
+}  // namespace memx
+
+namespace memx::search {
+
+/// Evaluates genomes of one DesignSpace against one kernel. The space
+/// must outlive the evaluator. Not thread-safe (batch at will instead:
+/// a batch is one sweep).
+class SearchEvaluator {
+public:
+  /// `base` supplies everything the space does not sweep: energy and
+  /// timing models, bus-activity measurement, write-energy accounting
+  /// and the sweep backend. A forced MultiSim backend is honored
+  /// everywhere; Auto (and a forced StackDist) resolve per combo, so
+  /// LRU combos stay analytic while others simulate.
+  SearchEvaluator(Kernel kernel, const DesignSpace& space,
+                  ExploreOptions base, obs::Recorder* recorder = nullptr);
+
+  /// Objectives for each genome (all must be valid), in input order.
+  /// Previously seen genomes are archive lookups; the rest are
+  /// evaluated in per-combo batches.
+  [[nodiscard]] std::vector<Objectives> evaluate(
+      const std::vector<Genome>& genomes);
+
+  /// Fresh (non-cached) evaluations performed so far.
+  [[nodiscard]] std::uint64_t evaluations() const noexcept {
+    return evaluations_;
+  }
+  /// Archive hits served so far (includes duplicates within a batch).
+  [[nodiscard]] std::uint64_t cacheHits() const noexcept {
+    return cacheHits_;
+  }
+
+  [[nodiscard]] const DesignSpace& space() const noexcept { return space_; }
+  [[nodiscard]] const Kernel& kernel() const noexcept { return kernel_; }
+  [[nodiscard]] const ExploreOptions& baseOptions() const noexcept {
+    return base_;
+  }
+
+  /// The archive a combo/L2 choice accumulates results in (nullptr when
+  /// nothing of that slice was evaluated yet). Exposed so tests can
+  /// assert the find-index stays coherent while the archive grows.
+  [[nodiscard]] const ExplorationResult* archive(
+      std::uint8_t replacementIdx, std::uint8_t writePolicyIdx,
+      std::uint8_t layoutIdx, std::uint8_t l2Idx) const;
+
+private:
+  /// (replacement, write, layout) gene indices — one Explorer each.
+  using ComboKey = std::array<std::uint8_t, 3>;
+
+  struct ComboState {
+    std::unique_ptr<Explorer> explorer;
+    Explorer::PatternCache patterns;
+    /// Shared group traces with their measured bus activity, keyed by
+    /// SweepPlan::Group::traceKey; persists across generations.
+    std::map<std::string, std::pair<Trace, double>> traces;
+    /// One growing result archive per L2 gene index (ConfigKeys would
+    /// collide across L2 choices in a single archive).
+    std::map<std::uint8_t, ExplorationResult> archives;
+  };
+
+  ComboState& comboFor(const Genome& g);
+  [[nodiscard]] Objectives toObjectives(const DesignPoint& point,
+                                        const JointPoint& decoded) const;
+
+  Kernel kernel_;
+  const DesignSpace& space_;
+  ExploreOptions base_;
+  obs::Recorder* recorder_ = nullptr;
+  std::map<ComboKey, ComboState> combos_;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t cacheHits_ = 0;
+};
+
+}  // namespace memx::search

@@ -1,0 +1,29 @@
+// Explorer::searchPareto lives in memx_search (not memx_core) so the
+// core library stays free of the search subsystem; linking the
+// umbrella `memx` target (or memx_search directly) provides it.
+#include "memx/core/explorer.hpp"
+#include "memx/search/nsga.hpp"
+
+namespace memx {
+
+search::SearchResult Explorer::searchPareto(
+    const Kernel& kernel, const search::SearchOptions& options) const {
+  search::DesignSpaceOptions spaceOptions;
+  if (options.space) {
+    spaceOptions = *options.space;
+  } else {
+    // Default: this explorer's own single-level sweep space — same
+    // ranges, same policies, same layout choice — so searchPareto with
+    // plain options explores exactly what explore() would sweep.
+    spaceOptions.ranges = options_.ranges;
+    spaceOptions.replacements = {options_.replacement};
+    spaceOptions.writePolicies = {options_.writePolicy};
+    spaceOptions.sweepLayout = false;
+    spaceOptions.defaultOptimizeLayout = options_.optimizeLayout;
+  }
+  search::NsgaSearch engine(kernel, search::DesignSpace(spaceOptions),
+                            options_, options, recorder_);
+  return engine.run();
+}
+
+}  // namespace memx

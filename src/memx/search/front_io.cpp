@@ -1,0 +1,152 @@
+#include "memx/search/front_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "memx/cachesim/cache_config.hpp"
+
+namespace memx::search {
+
+namespace {
+
+const char* const kColumns[] = {
+    "workload",    "cache_bytes", "line_bytes", "associativity",
+    "tiling",      "replacement", "write",      "layout",
+    "l2_bytes",    "energy_nj",   "cycles",     "size_rbe",
+};
+constexpr std::size_t kColumnCount = std::size(kColumns);
+
+[[noreturn]] void fail(std::size_t lineNo, const std::string& what) {
+  throw std::runtime_error("front CSV line " + std::to_string(lineNo) +
+                           ": " + what);
+}
+
+std::vector<std::string> splitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+std::uint32_t parseU32(const std::string& field, std::size_t lineNo,
+                       const char* column) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(field.c_str(), &end, 10);
+  if (field.empty() || *end != '\0' || value > 0xffffffffull) {
+    fail(lineNo, std::string("column '") + column +
+                     "' is not an unsigned integer: '" + field + "'");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+double parseF64(const std::string& field, std::size_t lineNo,
+                const char* column) {
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (field.empty() || *end != '\0') {
+    fail(lineNo, std::string("column '") + column +
+                     "' is not a number: '" + field + "'");
+  }
+  return value;
+}
+
+std::string f64(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const std::string& frontCsvHeader() {
+  static const std::string header = [] {
+    std::string h;
+    for (std::size_t i = 0; i < kColumnCount; ++i) {
+      if (i != 0) h += ',';
+      h += kColumns[i];
+    }
+    return h;
+  }();
+  return header;
+}
+
+FrontRow toFrontRow(const std::string& workload, const SearchPoint& point) {
+  FrontRow row;
+  row.workload = workload;
+  row.cacheBytes = point.decoded.key.cacheBytes;
+  row.lineBytes = point.decoded.key.lineBytes;
+  row.associativity = point.decoded.key.associativity;
+  row.tiling = point.decoded.key.tiling;
+  row.replacement = toString(point.decoded.replacement);
+  row.writePolicy = toString(point.decoded.writePolicy);
+  row.layout = point.decoded.optimizeLayout ? "opt" : "tight";
+  row.l2Bytes = point.decoded.l2 ? point.decoded.l2->sizeBytes : 0;
+  row.objectives = point.objectives;
+  return row;
+}
+
+void writeFrontCsv(std::ostream& out, const std::vector<FrontRow>& rows) {
+  out << frontCsvHeader() << '\n';
+  for (const FrontRow& r : rows) {
+    out << r.workload << ',' << r.cacheBytes << ',' << r.lineBytes << ','
+        << r.associativity << ',' << r.tiling << ',' << r.replacement << ','
+        << r.writePolicy << ',' << r.layout << ',' << r.l2Bytes << ','
+        << f64(r.objectives[0]) << ',' << f64(r.objectives[1]) << ','
+        << f64(r.objectives[2]) << '\n';
+  }
+}
+
+std::vector<FrontRow> readFrontCsv(std::istream& in) {
+  std::string line;
+  std::size_t lineNo = 1;
+  if (!std::getline(in, line)) fail(lineNo, "empty file (missing header)");
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != frontCsvHeader()) {
+    fail(lineNo, "bad header: expected '" + frontCsvHeader() + "', got '" +
+                     line + "'");
+  }
+  std::vector<FrontRow> rows;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = splitFields(line);
+    if (fields.size() != kColumnCount) {
+      fail(lineNo, "expected " + std::to_string(kColumnCount) +
+                       " fields, got " + std::to_string(fields.size()));
+    }
+    FrontRow row;
+    row.workload = fields[0];
+    row.cacheBytes = parseU32(fields[1], lineNo, kColumns[1]);
+    row.lineBytes = parseU32(fields[2], lineNo, kColumns[2]);
+    row.associativity = parseU32(fields[3], lineNo, kColumns[3]);
+    row.tiling = parseU32(fields[4], lineNo, kColumns[4]);
+    row.replacement = fields[5];
+    row.writePolicy = fields[6];
+    row.layout = fields[7];
+    if (row.layout != "opt" && row.layout != "tight") {
+      fail(lineNo, "column 'layout' must be 'opt' or 'tight', got '" +
+                       row.layout + "'");
+    }
+    row.l2Bytes = parseU32(fields[8], lineNo, kColumns[8]);
+    row.objectives[0] = parseF64(fields[9], lineNo, kColumns[9]);
+    row.objectives[1] = parseF64(fields[10], lineNo, kColumns[10]);
+    row.objectives[2] = parseF64(fields[11], lineNo, kColumns[11]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace memx::search

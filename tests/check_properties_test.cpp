@@ -4,6 +4,9 @@
 // docs/TESTING.md for the invariant list with paper-section references.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "memx/cachesim/cache_sim.hpp"
 #include "memx/cachesim/miss_classifier.hpp"
 #include "memx/check/random_gen.hpp"
@@ -12,6 +15,7 @@
 #include "memx/energy/energy_model.hpp"
 #include "memx/kernels/benchmarks.hpp"
 #include "memx/layout/offchip_assign.hpp"
+#include "memx/search/dominance.hpp"
 #include "memx/stackdist/all_assoc.hpp"
 #include "memx/timing/cycle_model.hpp"
 #include "memx/util/assert.hpp"
@@ -297,6 +301,91 @@ TEST(Properties, ForcedStackDistBackendRejectsIneligibleOptions) {
   options.replacement = ReplacementPolicy::TreePLRU;
   EXPECT_FALSE(Explorer(options).stackDistEligible());
   EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::MultiSim);
+}
+
+// --- Pareto dominance and front extraction (the search engine's
+// foundations). Dominance must be a strict partial order, and the
+// non-dominated set must be invariant under the two transformations a
+// correct extractor cannot notice: positive affine rescaling of each
+// objective and a reorder of the candidate points.
+
+std::vector<search::Objectives> randomObjectiveSet(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  // A coarse grid forces exact ties and duplicates; odd seeds use a
+  // fine grid for near-general position.
+  const std::uint64_t grid = seed % 2 == 0 ? 5 : 1000;
+  std::vector<search::Objectives> points(60 + rng() % 60);
+  for (search::Objectives& p : points) {
+    for (double& o : p) o = static_cast<double>(rng() % grid);
+  }
+  return points;
+}
+
+TEST_P(PropertySweep, ParetoDominanceIsAStrictPartialOrder) {
+  const std::vector<search::Objectives> points = randomObjectiveSet(seed());
+  for (const search::Objectives& a : points) {
+    EXPECT_FALSE(search::dominates(a, a));  // irreflexive
+  }
+  std::mt19937_64 rng(seed() ^ 0xabcdu);
+  for (int i = 0; i < 400; ++i) {
+    const search::Objectives& a = points[rng() % points.size()];
+    const search::Objectives& b = points[rng() % points.size()];
+    const search::Objectives& c = points[rng() % points.size()];
+    if (search::dominates(a, b)) {
+      EXPECT_FALSE(search::dominates(b, a));  // asymmetric
+      if (search::dominates(b, c)) {
+        EXPECT_TRUE(search::dominates(a, c));  // transitive
+      }
+    }
+  }
+}
+
+TEST_P(PropertySweep, ParetoFrontInvariantUnderPositiveAffineRescale) {
+  const std::vector<search::Objectives> points = randomObjectiveSet(seed());
+  const std::vector<std::size_t> front = search::nonDominatedFront(points);
+
+  std::mt19937_64 rng(seed() ^ 0x5ca1eu);
+  const auto scale = [&] { return 0.25 + static_cast<double>(rng() % 16); };
+  const auto shift = [&] {
+    return static_cast<double>(rng() % 100) - 50.0;
+  };
+  const double a0 = scale(), b0 = shift();
+  const double a1 = scale(), b1 = shift();
+  const double a2 = scale(), b2 = shift();
+  std::vector<search::Objectives> rescaled = points;
+  for (search::Objectives& p : rescaled) {
+    p[0] = a0 * p[0] + b0;
+    p[1] = a1 * p[1] + b1;
+    p[2] = a2 * p[2] + b2;
+  }
+  EXPECT_EQ(search::nonDominatedFront(rescaled), front)
+      << "seed " << seed() << ": positive affine rescaling must not "
+      << "change front membership";
+}
+
+TEST_P(PropertySweep, ParetoFrontInvariantUnderEnumerationOrderShuffle) {
+  const std::vector<search::Objectives> points = randomObjectiveSet(seed());
+  const std::vector<std::size_t> front = search::nonDominatedFront(points);
+
+  std::vector<std::size_t> perm(points.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::mt19937_64 rng(seed() ^ 0xf00du);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  std::vector<search::Objectives> shuffled(points.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    shuffled[i] = points[perm[i]];
+  }
+  // Map the shuffled front back to original indices; as a set it must
+  // equal the original front (duplicates make per-index comparison
+  // meaningless, so compare the multiset of objective vectors too).
+  std::vector<std::size_t> mappedBack;
+  for (const std::size_t i : search::nonDominatedFront(shuffled)) {
+    mappedBack.push_back(perm[i]);
+  }
+  std::sort(mappedBack.begin(), mappedBack.end());
+  EXPECT_EQ(mappedBack, front)
+      << "seed " << seed() << ": reordering candidates must not change "
+      << "front membership";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep, ::testing::Range(1, 21));

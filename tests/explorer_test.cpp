@@ -115,6 +115,51 @@ TEST(ExplorationResult, FindIndexRebuildsAfterAppend) {
   EXPECT_EQ(&r.at(ConfigKey{64, 8, 1, 1}), &r.points[0]);
 }
 
+TEST(ExplorationResult, GrowingArchiveAppendsToIndexInsteadOfRebuilding) {
+  // Regression: searchPareto appends to per-combo archives between
+  // find() calls, and the index used to be rebuilt from scratch on
+  // every size change — O(n log n) per batch across thousands of
+  // batches. A pure append must merge the new tail into the index.
+  ExplorationResult r;
+  const auto append = [&](std::uint32_t size, double cycles) {
+    DesignPoint p;
+    p.key = ConfigKey{size, 8, 1, 1};
+    p.cycles = cycles;
+    r.points.push_back(p);
+  };
+  append(64, 1.0);
+  ASSERT_NE(r.find(ConfigKey{64, 8, 1, 1}), nullptr);
+  EXPECT_EQ(r.indexRebuilds(), 1u);
+
+  // Interleave appends (in non-sorted key order) with lookups: every
+  // point stays findable, and no further rebuild happens.
+  std::uint32_t sizes[] = {512, 32, 256, 16, 128};
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    append(sizes[i], static_cast<double>(sizes[i]));
+    const DesignPoint* fresh = r.find(ConfigKey{sizes[i], 8, 1, 1});
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_EQ(fresh->cycles, static_cast<double>(sizes[i]));
+    ASSERT_NE(r.find(ConfigKey{64, 8, 1, 1}), nullptr);
+  }
+  EXPECT_EQ(r.indexRebuilds(), 1u);
+  EXPECT_EQ(r.indexAppends(), std::size(sizes));
+
+  // An appended duplicate key must not shadow the original: find()
+  // still returns the first occurrence, exactly like a full rebuild.
+  append(64, 99.0);
+  const DesignPoint* dup = r.find(ConfigKey{64, 8, 1, 1});
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup, &r.points[0]);
+  EXPECT_EQ(dup->cycles, 1.0);
+
+  // Shrinking the archive falls back to a full rebuild.
+  r.points.pop_back();
+  r.points.pop_back();
+  ASSERT_NE(r.find(ConfigKey{64, 8, 1, 1}), nullptr);
+  EXPECT_EQ(r.find(ConfigKey{128, 8, 1, 1}), nullptr);
+  EXPECT_EQ(r.indexRebuilds(), 2u);
+}
+
 TEST(ExplorationResult, FindNeverReturnsWrongPointAfterKeyMutation) {
   // Regression: the index used to go stale on a same-size in-place key
   // rewrite, so find() could hand back a point whose key is not the one

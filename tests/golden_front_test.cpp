@@ -1,0 +1,149 @@
+// Golden-front regression: exact Pareto fronts for two paper kernels
+// over restricted joint spaces, pinned in tests/golden/front_*.csv.
+// The searches run with a full-enumeration budget, so the pinned
+// fronts are the true fronts of their spaces — robust to GA parameter
+// tuning; only a genuine model or search-semantics change moves them,
+// and this test then reports the exact per-point delta.
+//
+// Regenerating (only when such a change is *intended*):
+//   MEMX_REGEN_GOLDEN=1 ./build/tests/test_golden_front
+// rewrites the corpus in the source tree; commit the diff alongside
+// the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/search/front_io.hpp"
+#include "memx/search/nsga.hpp"
+
+#ifndef MEMX_GOLDEN_DIR
+#error "MEMX_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace memx::search {
+namespace {
+
+struct GoldenFront {
+  const char* file;
+  Kernel kernel;
+  DesignSpaceOptions space;
+};
+
+/// compress: single-level space with mixed replacement policies.
+DesignSpaceOptions compressSpace() {
+  DesignSpaceOptions s;
+  s.ranges.onChipBytes = 256;
+  s.ranges.maxCacheBytes = 256;
+  s.ranges.minCacheBytes = 16;
+  s.ranges.minLineBytes = 4;
+  s.ranges.maxLineBytes = 32;
+  s.ranges.maxAssociativity = 2;
+  s.ranges.maxTiling = 4;
+  s.replacements = {ReplacementPolicy::LRU, ReplacementPolicy::FIFO};
+  s.writePolicies = {WritePolicy::WriteBack};
+  return s;
+}
+
+/// matadd: joint space with both write policies, layout sweep, and an
+/// optional L2.
+DesignSpaceOptions mataddSpace() {
+  DesignSpaceOptions s;
+  s.ranges.onChipBytes = 128;
+  s.ranges.maxCacheBytes = 128;
+  s.ranges.minCacheBytes = 16;
+  s.ranges.minLineBytes = 4;
+  s.ranges.maxLineBytes = 16;
+  s.ranges.maxAssociativity = 2;
+  s.ranges.maxTiling = 2;
+  s.writePolicies = {WritePolicy::WriteBack, WritePolicy::WriteThrough};
+  s.sweepLayout = true;
+  s.l2CapacityBytes = {512};
+  return s;
+}
+
+std::vector<GoldenFront> goldenFronts() {
+  std::vector<GoldenFront> fronts;
+  fronts.push_back({"front_compress.csv", compressKernel(), compressSpace()});
+  fronts.push_back(
+      {"front_matadd.csv", matrixAddKernel(6, 1), mataddSpace()});
+  return fronts;
+}
+
+std::vector<FrontRow> computeFront(const GoldenFront& g) {
+  SearchOptions options;
+  options.seed = 7;
+  options.populationSize = 16;
+  options.generations = 2;
+  options.space = g.space;
+  // Full-enumeration budget: the mop-up makes the front exact, so the
+  // pinned corpus does not depend on the GA trajectory at all.
+  options.maxEvaluations = DesignSpace(g.space).size();
+  const SearchResult result =
+      Explorer{ExploreOptions{}}.searchPareto(g.kernel, options);
+  EXPECT_TRUE(result.exact) << g.file;
+  std::vector<FrontRow> rows;
+  rows.reserve(result.front.size());
+  for (const SearchPoint& p : result.front) {
+    rows.push_back(toFrontRow(result.workload, p));
+  }
+  return rows;
+}
+
+std::string rowLabel(const FrontRow& r) {
+  return r.workload + "/C" + std::to_string(r.cacheBytes) + "L" +
+         std::to_string(r.lineBytes) + "S" +
+         std::to_string(r.associativity) + "B" + std::to_string(r.tiling) +
+         "|" + r.replacement + "|" + r.writePolicy + "|" + r.layout +
+         "|L2:" + std::to_string(r.l2Bytes);
+}
+
+/// Exact comparison that prints the delta: the front is pinned bit for
+/// bit (the CSV round-trips doubles exactly).
+void expectExact(const char* field, const std::string& label,
+                 double golden, double current) {
+  EXPECT_EQ(current, golden)
+      << label << " " << field << " drifted: golden=" << golden
+      << " current=" << current << " delta=" << (current - golden);
+}
+
+TEST(GoldenFront, ExactFrontsMatchCorpus) {
+  const bool regen = std::getenv("MEMX_REGEN_GOLDEN") != nullptr;
+  for (const GoldenFront& g : goldenFronts()) {
+    const std::vector<FrontRow> current = computeFront(g);
+    ASSERT_FALSE(current.empty()) << g.file;
+    const std::string path = std::string(MEMX_GOLDEN_DIR) + "/" + g.file;
+
+    if (regen) {
+      std::ofstream out(path);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      writeFrontCsv(out, current);
+      continue;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "missing golden front " << path
+                           << " (regenerate with MEMX_REGEN_GOLDEN=1)";
+    const std::vector<FrontRow> golden = readFrontCsv(in);
+    ASSERT_EQ(golden.size(), current.size())
+        << g.file << ": front size changed";
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      const FrontRow& want = golden[i];
+      const FrontRow& got = current[i];
+      ASSERT_EQ(rowLabel(want), rowLabel(got))
+          << g.file << ": front membership changed at point " << i;
+      const std::string label = rowLabel(got);
+      expectExact("energy_nj", label, want.objectives[0],
+                  got.objectives[0]);
+      expectExact("cycles", label, want.objectives[1], got.objectives[1]);
+      expectExact("size_rbe", label, want.objectives[2],
+                  got.objectives[2]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memx::search

@@ -1,0 +1,412 @@
+// Unit and determinism tests for the Pareto search subsystem: design
+// space encoding/repair, the dominance kernel (against brute force and
+// known answers), evaluator caching, and seed/backed reproducibility
+// of full searches. The exhaustive differentials live in
+// search_differential_test.cpp; the pinned fronts in
+// golden_front_test.cpp.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "memx/kernels/benchmarks.hpp"
+#include "memx/obs/recorder.hpp"
+#include "memx/search/design_space.hpp"
+#include "memx/search/dominance.hpp"
+#include "memx/search/evaluator.hpp"
+#include "memx/search/front_io.hpp"
+#include "memx/search/nsga.hpp"
+#include "memx/search/search_diff.hpp"
+#include "memx/util/assert.hpp"
+
+namespace memx::search {
+namespace {
+
+/// A small joint space exercising every gene: 2 cache sizes x lines x
+/// assoc x tiling, 2 replacements, 2 write policies, both layouts, and
+/// one optional L2.
+DesignSpaceOptions smallJointSpace() {
+  DesignSpaceOptions s;
+  s.ranges.onChipBytes = 64;
+  s.ranges.minCacheBytes = 16;
+  s.ranges.maxCacheBytes = 64;
+  s.ranges.minLineBytes = 4;
+  s.ranges.maxLineBytes = 16;
+  s.ranges.maxAssociativity = 2;
+  s.ranges.maxTiling = 2;
+  s.replacements = {ReplacementPolicy::LRU, ReplacementPolicy::FIFO};
+  s.writePolicies = {WritePolicy::WriteBack, WritePolicy::WriteThrough};
+  s.sweepLayout = true;
+  s.l2CapacityBytes = {256};
+  return s;
+}
+
+TEST(DesignSpace, EnumerateMatchesAnalyticSizeAndIsValid) {
+  const DesignSpace space(smallJointSpace());
+  const std::vector<Genome> all = space.enumerate();
+  EXPECT_EQ(all.size(), space.size());
+  ASSERT_FALSE(all.empty());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_TRUE(space.isValid(all[i]));
+    const std::uint64_t packed = space.packed(all[i]);
+    if (i != 0) {
+      EXPECT_LT(prev, packed) << "enumerate() must yield strictly "
+                                 "increasing packed order at " << i;
+    }
+    prev = packed;
+  }
+}
+
+TEST(DesignSpace, RepairIsIdempotentAndProducesValidGenomes) {
+  const DesignSpace space(smallJointSpace());
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    Genome raw;
+    for (std::uint8_t& g : raw) {
+      g = static_cast<std::uint8_t>(rng());  // arbitrary bytes
+    }
+    const Genome fixed = space.repair(raw);
+    EXPECT_TRUE(space.isValid(fixed));
+    EXPECT_EQ(space.repair(fixed), fixed) << "repair must be idempotent";
+  }
+}
+
+TEST(DesignSpace, RepairKeepsValidGenomesUntouched) {
+  const DesignSpace space(smallJointSpace());
+  for (const Genome& g : space.enumerate()) {
+    EXPECT_EQ(space.repair(g), g);
+  }
+}
+
+TEST(DesignSpace, DecodeProducesValidatedConfigs) {
+  const DesignSpace space(smallJointSpace());
+  for (const Genome& g : space.enumerate()) {
+    const JointPoint p = space.decode(g);
+    EXPECT_GE(p.key.cacheBytes, 16u);
+    EXPECT_LE(p.key.cacheBytes, 64u);
+    EXPECT_LE(p.key.lineBytes, p.key.cacheBytes);
+    if (p.l2) {
+      EXPECT_EQ(p.l2->sizeBytes, 256u);
+      EXPECT_GE(p.l2->lineBytes, p.key.lineBytes);
+    }
+    EXPECT_FALSE(p.label().empty());
+  }
+}
+
+TEST(DesignSpace, RandomGenomesAreValid) {
+  const DesignSpace space(smallJointSpace());
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(space.isValid(space.randomGenome(rng)));
+  }
+}
+
+TEST(Dominance, DominatesIsStrictAndComponentwise) {
+  const Objectives a{1.0, 2.0, 3.0};
+  EXPECT_FALSE(dominates(a, a));  // irreflexive
+  EXPECT_TRUE(dominates(Objectives{1.0, 2.0, 2.0}, a));
+  EXPECT_TRUE(dominates(Objectives{0.0, 0.0, 0.0}, a));
+  EXPECT_FALSE(dominates(Objectives{0.0, 0.0, 4.0}, a));  // trade-off
+  EXPECT_FALSE(dominates(a, Objectives{1.0, 2.0, 2.0}));
+}
+
+std::vector<Objectives> randomObjectives(std::uint64_t seed,
+                                         std::size_t count,
+                                         int distinctValues) {
+  std::mt19937_64 rng(seed);
+  std::vector<Objectives> points(count);
+  for (Objectives& p : points) {
+    for (double& o : p) {
+      // A coarse value grid forces ties and duplicate points.
+      o = static_cast<double>(rng() % distinctValues);
+    }
+  }
+  return points;
+}
+
+TEST(Dominance, ProductionExtractorMatchesBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const std::vector<Objectives> points =
+        randomObjectives(seed, 120, seed % 2 == 0 ? 4 : 64);
+    EXPECT_EQ(nonDominatedFront(points), bruteForceFront(points))
+        << "seed " << seed;
+  }
+}
+
+TEST(Dominance, RankZeroIsTheFront) {
+  const std::vector<Objectives> points = randomObjectives(7, 80, 8);
+  const std::vector<std::uint32_t> ranks = nonDominatedRanks(points);
+  std::vector<std::size_t> rankZero;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (ranks[i] == 0) rankZero.push_back(i);
+  }
+  EXPECT_EQ(rankZero, bruteForceFront(points));
+  // Every rank-k point is dominated by some rank-(k-1) point.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (ranks[i] == 0) continue;
+    bool covered = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (ranks[j] == ranks[i] - 1 && dominates(points[j], points[i])) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "point " << i << " rank " << ranks[i];
+  }
+}
+
+TEST(Dominance, CrowdingBoundariesAreInfiniteAndTiesDeterministic) {
+  const std::vector<Objectives> points{
+      {0.0, 4.0, 1.0}, {1.0, 3.0, 1.0}, {2.0, 2.0, 1.0},
+      {3.0, 1.0, 1.0}, {4.0, 0.0, 1.0},
+  };
+  std::vector<std::size_t> members{0, 1, 2, 3, 4};
+  const std::vector<double> crowd = crowdingDistances(points, members);
+  EXPECT_TRUE(std::isinf(crowd[0]));
+  EXPECT_TRUE(std::isinf(crowd[4]));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(crowd[i], 0.0);
+    EXPECT_FALSE(std::isinf(crowd[i]));
+  }
+  // Duplicate points: the (value, index) sort key makes the assignment
+  // deterministic — same call, same distances, run after run.
+  const std::vector<Objectives> dups(6, Objectives{1.0, 1.0, 1.0});
+  std::vector<std::size_t> dupMembers{0, 1, 2, 3, 4, 5};
+  const std::vector<double> first = crowdingDistances(dups, dupMembers);
+  const std::vector<double> second = crowdingDistances(dups, dupMembers);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Dominance, HypervolumeKnownAnswers) {
+  const Objectives ref{1.0, 1.0, 1.0};
+  const auto hv = [&](std::vector<Objectives> points) {
+    return hypervolume(points, ref);
+  };
+  // One point at the ideal corner sweeps the whole unit cube.
+  EXPECT_DOUBLE_EQ(hv({Objectives{0.0, 0.0, 0.0}}), 1.0);
+  // A half-scale point sweeps its own box.
+  EXPECT_DOUBLE_EQ(hv({Objectives{0.5, 0.5, 0.5}}), 0.125);
+  // Two trade-off points: union of two boxes, overlap counted once.
+  EXPECT_DOUBLE_EQ(
+      hv({Objectives{0.5, 0.0, 0.0}, Objectives{0.0, 0.5, 0.0}}), 0.75);
+  // A dominated point adds nothing.
+  EXPECT_DOUBLE_EQ(
+      hv({Objectives{0.0, 0.0, 0.0}, Objectives{0.5, 0.5, 0.5}}), 1.0);
+  // Points at or beyond the reference contribute nothing.
+  EXPECT_DOUBLE_EQ(hv({Objectives{1.0, 0.0, 0.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(hv({Objectives{2.0, 2.0, 2.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(hv({}), 0.0);
+}
+
+TEST(Dominance, HypervolumeIsMonotoneInAddedPoints) {
+  const Objectives ref{8.0, 8.0, 8.0};
+  std::vector<Objectives> points;
+  double prev = 0.0;
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 40; ++i) {
+    points.push_back(Objectives{static_cast<double>(rng() % 8),
+                                static_cast<double>(rng() % 8),
+                                static_cast<double>(rng() % 8)});
+    const double hv = hypervolume(points, ref);
+    EXPECT_GE(hv, prev - 1e-12) << "adding a point shrank the volume";
+    prev = hv;
+  }
+}
+
+TEST(Evaluator, ArchiveServesRepeatsBitIdentically) {
+  const DesignSpace space(smallJointSpace());
+  SearchEvaluator evaluator(matrixAddKernel(6, 1), space, ExploreOptions{});
+  std::vector<Genome> batch = space.enumerate();
+  batch.resize(40);
+  const std::vector<Objectives> first = evaluator.evaluate(batch);
+  EXPECT_EQ(evaluator.evaluations(), 40u);
+  EXPECT_EQ(evaluator.cacheHits(), 0u);
+  const std::vector<Objectives> second = evaluator.evaluate(batch);
+  EXPECT_EQ(evaluator.evaluations(), 40u) << "repeats must be free";
+  EXPECT_EQ(evaluator.cacheHits(), 40u);
+  EXPECT_EQ(first, second);
+}
+
+TEST(Evaluator, InBatchDuplicatesCountAsHits) {
+  const DesignSpace space(smallJointSpace());
+  SearchEvaluator evaluator(matrixAddKernel(6, 1), space, ExploreOptions{});
+  const std::vector<Genome> all = space.enumerate();
+  const std::vector<Genome> batch{all[0], all[1], all[0], all[1], all[0]};
+  const std::vector<Objectives> objs = evaluator.evaluate(batch);
+  EXPECT_EQ(evaluator.evaluations(), 2u);
+  EXPECT_EQ(evaluator.cacheHits(), 3u);
+  EXPECT_EQ(objs[0], objs[2]);
+  EXPECT_EQ(objs[0], objs[4]);
+  EXPECT_EQ(objs[1], objs[3]);
+}
+
+SearchOptions quickSearch(std::uint64_t seed) {
+  SearchOptions o;
+  o.seed = seed;
+  o.populationSize = 16;
+  o.generations = 4;
+  return o;
+}
+
+TEST(Search, SameSeedIsBitIdenticalAcrossRuns) {
+  const Kernel kernel = matrixAddKernel(6, 1);
+  SearchOptions options = quickSearch(42);
+  options.space = smallJointSpace();
+  const Explorer explorer{ExploreOptions{}};
+  const SearchResult a = explorer.searchPareto(kernel, options);
+  const SearchResult b = explorer.searchPareto(kernel, options);
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].genome, b.front[i].genome);
+    EXPECT_EQ(a.front[i].objectives, b.front[i].objectives);
+  }
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.generations, b.generations);
+}
+
+TEST(Search, SameSeedIsBitIdenticalAcrossBackends) {
+  const Kernel kernel = matrixAddKernel(6, 1);
+  SearchOptions options = quickSearch(7);
+  options.space = smallJointSpace();
+  ExploreOptions autoBackend;
+  autoBackend.backend = SweepBackend::Auto;
+  ExploreOptions multisim;
+  multisim.backend = SweepBackend::MultiSim;
+  const SearchResult a =
+      Explorer{autoBackend}.searchPareto(kernel, options);
+  const SearchResult b = Explorer{multisim}.searchPareto(kernel, options);
+  ASSERT_EQ(a.front.size(), b.front.size());
+  for (std::size_t i = 0; i < a.front.size(); ++i) {
+    EXPECT_EQ(a.front[i].genome, b.front[i].genome);
+    EXPECT_EQ(a.front[i].objectives, b.front[i].objectives)
+        << a.front[i].decoded.label();
+  }
+}
+
+TEST(Search, DifferentSeedsStayWithinBudget) {
+  const Kernel kernel = matrixAddKernel(6, 1);
+  const Explorer explorer{ExploreOptions{}};
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    SearchOptions options = quickSearch(seed);
+    options.space = smallJointSpace();
+    options.maxEvaluations = 50;
+    options.finishExhaustively = false;
+    const SearchResult r = explorer.searchPareto(kernel, options);
+    EXPECT_LE(r.evaluations, 50u) << "seed " << seed;
+    EXPECT_FALSE(r.front.empty());
+    EXPECT_FALSE(r.exact);
+  }
+}
+
+TEST(Search, FullBudgetIsExactOnASmallSpace) {
+  // One quick in-process differential: full budget => mop-up => the
+  // front equals the brute-force front bit for bit. The seeded sweep
+  // over many spaces lives in search_differential_test.cpp.
+  const DiffResult r = replaySearchDiffCase(1, {});
+  EXPECT_TRUE(r.ok) << r.message;
+}
+
+TEST(Search, RecorderSeesSearchCountersAndSpans) {
+  obs::Recorder recorder;
+  NsgaSearch engine(matrixAddKernel(6, 1), DesignSpace(smallJointSpace()),
+                    ExploreOptions{}, quickSearch(3), &recorder);
+  const SearchResult r = engine.run();
+  EXPECT_GT(r.evaluations, 0u);
+  const obs::RunReport report = recorder.report();
+  EXPECT_EQ(report.counter("search.generations"), r.generations);
+  EXPECT_EQ(report.counter("search.evals"), r.evaluations);
+  EXPECT_EQ(report.counter("search.cache_hits"), r.cacheHits);
+  const obs::PhaseStat* run = report.phase("search.run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->count, 1u);
+  const obs::PhaseStat* gen = report.phase("search.generation");
+  ASSERT_NE(gen, nullptr);
+  EXPECT_EQ(gen->count, r.generations);
+  const obs::PhaseStat* batch = report.phase("search.evaluate_batch");
+  ASSERT_NE(batch, nullptr);
+  EXPECT_GT(batch->count, 0u);
+}
+
+TEST(FrontIo, CsvRoundTripsBitExactly) {
+  const Kernel kernel = matrixAddKernel(6, 1);
+  SearchOptions options = quickSearch(11);
+  options.space = smallJointSpace();
+  const SearchResult result =
+      Explorer{ExploreOptions{}}.searchPareto(kernel, options);
+  ASSERT_FALSE(result.front.empty());
+  std::vector<FrontRow> rows;
+  for (const SearchPoint& p : result.front) {
+    rows.push_back(toFrontRow(result.workload, p));
+  }
+  std::stringstream io;
+  writeFrontCsv(io, rows);
+  const std::vector<FrontRow> parsed = readFrontCsv(io);
+  ASSERT_EQ(parsed.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(parsed[i].workload, rows[i].workload);
+    EXPECT_EQ(parsed[i].cacheBytes, rows[i].cacheBytes);
+    EXPECT_EQ(parsed[i].lineBytes, rows[i].lineBytes);
+    EXPECT_EQ(parsed[i].associativity, rows[i].associativity);
+    EXPECT_EQ(parsed[i].tiling, rows[i].tiling);
+    EXPECT_EQ(parsed[i].replacement, rows[i].replacement);
+    EXPECT_EQ(parsed[i].writePolicy, rows[i].writePolicy);
+    EXPECT_EQ(parsed[i].layout, rows[i].layout);
+    EXPECT_EQ(parsed[i].l2Bytes, rows[i].l2Bytes);
+    EXPECT_EQ(parsed[i].objectives, rows[i].objectives)
+        << "doubles must round-trip bit-exactly (row " << i << ")";
+  }
+}
+
+TEST(FrontIo, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW((void)readFrontCsv(empty), std::runtime_error);
+  std::stringstream badHeader("nope\n");
+  EXPECT_THROW((void)readFrontCsv(badHeader), std::runtime_error);
+  std::stringstream shortRow(frontCsvHeader() + "\nmatadd,16,8\n");
+  EXPECT_THROW((void)readFrontCsv(shortRow), std::runtime_error);
+  std::stringstream badNumber(
+      frontCsvHeader() +
+      "\nmatadd,16,x,1,1,LRU,write-back,tight,0,1,2,3\n");
+  EXPECT_THROW((void)readFrontCsv(badNumber), std::runtime_error);
+  std::stringstream badLayout(
+      frontCsvHeader() +
+      "\nmatadd,16,8,1,1,LRU,write-back,loose,0,1,2,3\n");
+  EXPECT_THROW((void)readFrontCsv(badLayout), std::runtime_error);
+}
+
+TEST(SearchDiff, ShrinkStepsReduceOrReportMinimal) {
+  DesignSpaceOptions s = smallJointSpace();
+  const std::uint64_t before = DesignSpace(s).size();
+  bool any = false;
+  for (std::size_t step = 0; step < kSearchShrinkSteps; ++step) {
+    DesignSpaceOptions trial = s;
+    if (!applySearchShrinkStep(trial, step)) continue;
+    any = true;
+    EXPECT_LT(DesignSpace(trial).size(), before) << "step " << step;
+  }
+  EXPECT_TRUE(any);
+  // Exhaustively applying every step bottoms out at a 1-genome space,
+  // and every further step reports no-op.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t step = 0; step < kSearchShrinkSteps; ++step) {
+      changed = applySearchShrinkStep(s, step) || changed;
+    }
+  }
+  EXPECT_EQ(DesignSpace(s).size(), 1u);
+}
+
+TEST(SearchDiff, GeneratedCasesStayWithinTheCap) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const SearchDiffCase c = makeSearchDiffCase(seed);
+    const std::uint64_t size = DesignSpace(c.space).size();
+    EXPECT_GE(size, 1u) << "seed " << seed;
+    EXPECT_LE(size, 512u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace memx::search
