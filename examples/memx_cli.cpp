@@ -4,7 +4,10 @@
 //                    [--write-energy] [--backend <auto|multisim|stackdist>]
 //                    [--search [--joint] [--seed <n>] [--pop <n>]
 //                     [--gens <n>] [--budget <n>]]
-//   memx_cli simulate <din-file> --cache <C..L..[S..]>
+//   memx_cli explore --trace <din-file[.gz]> [--skip <n>] [--warmup <n>]
+//                    [--limit <n>] [common explore flags]
+//   memx_cli simulate <din-file[.gz]> --cache <C..L..[S..]>
+//                     [--skip <n>] [--warmup <n>] [--limit <n>]
 //   memx_cli layout <kernel> --cache <C..L..>
 //   memx_cli icache <kernel>
 //   memx_cli workingset <kernel> [--line <bytes>]
@@ -15,6 +18,7 @@
 // Kernels: compress matmul matadd pde sor dequant transpose lu fir
 //          matvec histogram — or a path to a .mx kernel file (see
 //          examples/kernels/).
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -35,6 +39,7 @@
 #include "memx/search/nsga.hpp"
 #include "memx/spm/spm_explorer.hpp"
 #include "memx/trace/din_io.hpp"
+#include "memx/trace/file_source.hpp"
 #include "memx/trace/working_set.hpp"
 #include "memx/xform/dependence.hpp"
 
@@ -81,9 +86,55 @@ struct Args {
   bool search = false;
   bool joint = false;
   search::SearchOptions searchOptions;
+  std::optional<std::string> traceFile;
+  TraceWindow window;
 };
 
+/// Strict numeric flag parsing, mirroring result_io's discipline: a
+/// lenient std::stoul would accept "8x", "-1" (wrapping) or " 12"
+/// and silently mis-drive the run. Errors name the flag and the
+/// offending value.
+std::uint64_t parseFlagUnsigned(const std::string& flag,
+                                const std::string& text,
+                                std::uint64_t max) {
+  const std::string where = flag + " value '" + text + "'";
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(where + ": not an unsigned integer");
+  }
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size() || v > max) {
+      throw std::invalid_argument(where + ": out of range");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(where + ": out of range");
+  }
+}
+
+double parseFlagDouble(const std::string& flag, const std::string& text) {
+  const std::string where = flag + " value '" + text + "'";
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size() || !std::isfinite(v)) {
+      throw std::invalid_argument(where + ": not a finite number");
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(where + ": not a finite number");
+  }
+}
+
 Args parseArgs(int argc, char** argv) {
+  constexpr std::uint64_t kU32 = 0xffffffffull;
+  constexpr std::uint64_t kU64 = ~0ull;
   Args args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -94,7 +145,7 @@ Args parseArgs(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--em") {
-      args.em = std::stod(value());
+      args.em = parseFlagDouble(arg, value());
     } else if (arg == "--no-layout") {
       args.noLayout = true;
     } else if (arg == "--csv") {
@@ -104,7 +155,8 @@ Args parseArgs(int argc, char** argv) {
     } else if (arg == "--cache") {
       args.cacheLabel = value();
     } else if (arg == "--line") {
-      args.lineBytes = static_cast<std::uint32_t>(std::stoul(value()));
+      args.lineBytes =
+          static_cast<std::uint32_t>(parseFlagUnsigned(arg, value(), kU32));
     } else if (arg == "--backend") {
       args.backend = parseSweepBackend(value());
     } else if (arg == "--search") {
@@ -112,15 +164,24 @@ Args parseArgs(int argc, char** argv) {
     } else if (arg == "--joint") {
       args.joint = true;
     } else if (arg == "--seed") {
-      args.searchOptions.seed = std::stoull(value());
+      args.searchOptions.seed = parseFlagUnsigned(arg, value(), kU64);
     } else if (arg == "--pop") {
       args.searchOptions.populationSize =
-          static_cast<std::uint32_t>(std::stoul(value()));
+          static_cast<std::uint32_t>(parseFlagUnsigned(arg, value(), kU32));
     } else if (arg == "--gens") {
       args.searchOptions.generations =
-          static_cast<std::uint32_t>(std::stoul(value()));
+          static_cast<std::uint32_t>(parseFlagUnsigned(arg, value(), kU32));
     } else if (arg == "--budget") {
-      args.searchOptions.maxEvaluations = std::stoull(value());
+      args.searchOptions.maxEvaluations =
+          parseFlagUnsigned(arg, value(), kU64);
+    } else if (arg == "--trace") {
+      args.traceFile = value();
+    } else if (arg == "--skip") {
+      args.window.skip = parseFlagUnsigned(arg, value(), kU64);
+    } else if (arg == "--warmup") {
+      args.window.warmup = parseFlagUnsigned(arg, value(), kU64);
+    } else if (arg == "--limit") {
+      args.window.limit = parseFlagUnsigned(arg, value(), kU64);
     } else {
       args.positional.push_back(arg);
     }
@@ -177,6 +238,24 @@ void emitFront(const search::SearchResult& result, bool csv) {
 }
 
 int cmdExplore(const Args& args) {
+  if (args.traceFile) {
+    // Trace mode: sweep (L, S) over a recorded din stream, pulled from
+    // disk in bounded-memory chunks (gzip inflated on the fly).
+    ExploreOptions options;
+    options.energy.emNj = args.em;
+    options.includeWriteEnergy = args.writeEnergy;
+    options.backend = args.backend;
+    FileTraceSource source(*args.traceFile);
+    const ExplorationResult result =
+        exploreTrace(*args.traceFile, source, options, args.window);
+    const IngestStats ingest = source.ingest();
+    emitResult(result, args.csv);
+    if (!args.csv) {
+      std::cout << "ingested: " << ingest.refsDecoded << " references, "
+                << ingest.bytesRead << " file bytes\n";
+    }
+    return 0;
+  }
   const Kernel kernel = kernelByName(args.positional.at(1));
   ExploreOptions options;
   options.energy.emNj = args.em;
@@ -214,16 +293,20 @@ int cmdSimulate(const Args& args) {
   if (!args.cacheLabel) {
     throw std::invalid_argument("simulate requires --cache <label>");
   }
-  std::ifstream file(args.positional.at(1));
-  if (!file) {
-    throw std::invalid_argument("cannot open " + args.positional.at(1));
-  }
-  const Trace trace = readDin(file);
+  const std::string& path =
+      args.traceFile ? *args.traceFile : args.positional.at(1);
   const CacheConfig cache = parseCacheLabel(*args.cacheLabel);
   ExploreOptions options;
   options.energy.emNj = args.em;
-  const DesignPoint p = evaluateTracePoint(trace, cache, options);
-  std::cout << "trace: " << trace.size() << " references\n"
+  // Streamed: the trace never materializes, so multi-hundred-MB files
+  // (plain or .gz) simulate in bounded memory.
+  FileTraceSource source(path);
+  const DesignPoint p =
+      evaluateTracePoint(source, cache, options, args.window);
+  const IngestStats ingest = source.ingest();
+  std::cout << "trace: " << p.accesses << " counted references ("
+            << ingest.refsDecoded << " decoded, " << ingest.bytesRead
+            << " file bytes)\n"
             << "cache: " << cache.label() << "\n"
             << "miss rate: " << fmtFixed(p.missRate, 4) << "\n"
             << "cycles: " << fmtSig3(p.cycles) << "\n"
@@ -351,7 +434,11 @@ int run(int argc, char** argv) {
     for (const std::string& k : kKernelNames) std::cout << k << '\n';
     return 0;
   }
-  if (args.positional.size() < 2) {
+  // explore/simulate take their input from --trace instead of a
+  // positional argument when given.
+  const bool traceDriven =
+      args.traceFile && (cmd == "explore" || cmd == "simulate");
+  if (args.positional.size() < 2 && !traceDriven) {
     throw std::invalid_argument(cmd + " requires an argument");
   }
   if (cmd == "explore") return cmdExplore(args);

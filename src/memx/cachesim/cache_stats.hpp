@@ -46,4 +46,24 @@ struct CacheStats {
   }
 };
 
+/// Field-wise difference. Every field is an additive, monotone
+/// accumulator, so end-of-run minus a mid-run snapshot yields exactly
+/// the statistics of the in-between region — the warmup-exclusion
+/// mechanism of the streamed replay drivers. `b` must be a prior
+/// snapshot of the run that produced `a`.
+[[nodiscard]] inline CacheStats operator-(const CacheStats& a,
+                                          const CacheStats& b) noexcept {
+  CacheStats d;
+  d.reads = a.reads - b.reads;
+  d.writes = a.writes - b.writes;
+  d.readHits = a.readHits - b.readHits;
+  d.readMisses = a.readMisses - b.readMisses;
+  d.writeHits = a.writeHits - b.writeHits;
+  d.writeMisses = a.writeMisses - b.writeMisses;
+  d.lineFills = a.lineFills - b.lineFills;
+  d.writebacks = a.writebacks - b.writebacks;
+  d.memWrites = a.memWrites - b.memWrites;
+  return d;
+}
+
 }  // namespace memx

@@ -60,6 +60,32 @@ void MultiCacheSim::run(const Trace& trace) {
   }
 }
 
+void MultiCacheSim::run(TraceSource& source, std::size_t chunkRefs) {
+  MEMX_EXPECTS(chunkRefs > 0, "chunkRefs must be positive");
+  std::vector<MemRef> chunk;
+  chunk.reserve(chunkRefs);
+  std::vector<LineSpan> spans;
+  spans.reserve(chunkRefs);
+  while (fillChunk(source, chunk, chunkRefs) > 0) {
+    // Same blocked schedule as run(Trace), per chunk: members are
+    // independent, so chunking does not change any member's probe
+    // sequence and the statistics stay bit-identical.
+    for (const LineGroup& group : groups_) {
+      spans.clear();
+      for (const MemRef& ref : chunk) {
+        MEMX_EXPECTS(ref.size > 0, "access size must be positive");
+        spans.push_back(
+            LineSpan{ref.addr >> group.lineShift,
+                     (ref.addr + ref.size - 1) >> group.lineShift,
+                     ref.type});
+      }
+      for (const std::size_t i : group.members) {
+        sims_[i].replaySpans(spans.data(), spans.size());
+      }
+    }
+  }
+}
+
 void MultiCacheSim::reset() {
   for (CacheSim& sim : sims_) sim.reset();
 }

@@ -37,6 +37,15 @@ public:
   /// Run a whole trace through the bank (one pass over `trace`).
   void run(const Trace& trace);
 
+  /// Drain `source` through the bank in chunks of `chunkRefs`
+  /// references, so out-of-core traces replay in bounded memory. Each
+  /// chunk uses the same blocked schedule as run(Trace) — members are
+  /// independent, so the result is bit-identical to materializing the
+  /// stream first. Callable repeatedly; cache state persists, which is
+  /// how the streamed drivers split warmup from counted references.
+  void run(TraceSource& source,
+           std::size_t chunkRefs = kDefaultTraceChunkRefs);
+
   /// Drop all contents and statistics (configurations are kept).
   void reset();
 

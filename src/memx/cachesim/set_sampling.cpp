@@ -18,25 +18,40 @@ Trace sampleSets(const Trace& trace, std::uint32_t lineBytes,
 
   Trace sampled;
   for (const MemRef& ref : trace) {
-    const std::uint64_t set = (ref.addr / lineBytes) % numSets;
-    if (set % factor == offset) sampled.push(ref);
+    MEMX_EXPECTS(ref.size > 0, "access size must be positive");
+    const std::uint64_t firstLine = ref.addr / lineBytes;
+    const std::uint64_t lastLine = (ref.addr + ref.size - 1) / lineBytes;
+    if (firstLine == lastLine) {
+      if (firstLine % numSets % factor == offset) sampled.push(ref);
+      continue;
+    }
+    // Straddler: CacheSim probes every touched line, and those probes
+    // belong to different sets. Split at line granularity and keep the
+    // pieces whose set survives the sample, clipped to their line.
+    const std::uint64_t end = ref.addr + ref.size - 1;
+    for (std::uint64_t line = firstLine; line <= lastLine; ++line) {
+      if (line % numSets % factor != offset) continue;
+      const std::uint64_t lo =
+          line == firstLine ? ref.addr : line * lineBytes;
+      const std::uint64_t hi =
+          line == lastLine ? end : line * lineBytes + lineBytes - 1;
+      sampled.push(MemRef{lo, static_cast<std::uint32_t>(hi - lo + 1),
+                          ref.type});
+    }
   }
   return sampled;
 }
 
-double estimateMissRateBySetSampling(const CacheConfig& config,
-                                     const Trace& trace,
-                                     std::uint32_t factor,
-                                     std::uint32_t offset) {
+CacheStats sampleSetsStats(const CacheConfig& config, const Trace& trace,
+                           std::uint32_t factor, std::uint32_t offset) {
   config.validate();
-  if (factor == 1) return simulateTrace(config, trace).missRate();
+  if (factor == 1) return simulateTrace(config, trace);
   MEMX_EXPECTS(config.numSets() % factor == 0,
                "factor must divide the set count");
 
   const Trace sampled =
       sampleSets(trace, config.lineBytes, config.numSets(), factor,
                  offset);
-  if (sampled.empty()) return 0.0;
 
   // The kept sets (offset, offset+factor, ...) become the sets of a
   // cache 1/factor the size. Compress the set bits so set s of the full
@@ -56,7 +71,15 @@ double estimateMissRateBySetSampling(const CacheConfig& config,
 
   CacheConfig shrunk = config;
   shrunk.sizeBytes = config.sizeBytes / factor;
-  return simulateTrace(shrunk, remapped).missRate();
+  return simulateTrace(shrunk, remapped);
+}
+
+double estimateMissRateBySetSampling(const CacheConfig& config,
+                                     const Trace& trace,
+                                     std::uint32_t factor,
+                                     std::uint32_t offset) {
+  const CacheStats stats = sampleSetsStats(config, trace, factor, offset);
+  return stats.accesses() == 0 ? 0.0 : stats.missRate();
 }
 
 }  // namespace memx

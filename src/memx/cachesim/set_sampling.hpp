@@ -9,15 +9,33 @@
 #include <cstdint>
 
 #include "memx/cachesim/cache_config.hpp"
+#include "memx/cachesim/cache_stats.hpp"
 #include "memx/trace/trace.hpp"
 
 namespace memx {
 
-/// Keep only references whose set index under (lineBytes, numSets)
-/// satisfies set % factor == offset.
+/// Keep the references whose set index under (lineBytes, numSets)
+/// satisfies set % factor == offset. A reference that straddles a line
+/// boundary touches several sets; it is split at line granularity and
+/// only the pieces landing in kept sets survive — the same per-line
+/// decomposition CacheSim applies, so every line probe of the full
+/// simulation lands in exactly one sample across the `factor` offsets.
+/// (Classifying a straddler by its first line alone would leak probes
+/// into the wrong sample or drop them entirely.)
 [[nodiscard]] Trace sampleSets(const Trace& trace, std::uint32_t lineBytes,
                                std::uint32_t numSets, std::uint32_t factor,
                                std::uint32_t offset = 0);
+
+/// Full statistics of the 1-in-`factor` set-sample simulation: the
+/// sampled references remapped onto a cache shrunk by `factor` (factor
+/// 1 = the full simulation). The kept sets simulate exactly as they do
+/// in the full cache, so probe-based counters (lineFills, writebacks)
+/// sum over the `factor` offsets to the full-simulation values.
+/// `factor` must be a power of two dividing the set count.
+[[nodiscard]] CacheStats sampleSetsStats(const CacheConfig& config,
+                                         const Trace& trace,
+                                         std::uint32_t factor,
+                                         std::uint32_t offset = 0);
 
 /// Estimate `config`'s miss rate from a 1-in-`factor` set sample.
 /// `factor` must be a power of two dividing the set count.

@@ -219,17 +219,24 @@ double refEstimateMissRateBySetSampling(const CacheConfig& config,
   const std::uint64_t sets = config.numSets();
   const std::uint64_t shrunkSets = sets / factor;
 
-  // Keep references whose (first byte's) set is in the sampled class,
-  // remapped so set s becomes set s/factor of a cache 1/factor the size
-  // while tags are preserved.
+  // The simulator probes every line an access touches, and each line
+  // has its own set; walk the touched lines one by one, keep the byte
+  // range falling in sampled sets, remapped so set s becomes set
+  // s/factor of a cache 1/factor the size while tags are preserved.
   Trace remapped;
   for (const MemRef& ref : trace) {
-    const std::uint64_t line = ref.addr / L;
-    const std::uint64_t set = line % sets;
-    if (set % factor != offset) continue;
-    const std::uint64_t tag = line / sets;
-    const std::uint64_t newLine = tag * shrunkSets + set / factor;
-    remapped.push(MemRef{newLine * L + ref.addr % L, ref.size, ref.type});
+    const std::uint64_t end = ref.addr + ref.size - 1;
+    for (std::uint64_t line = ref.addr / L; line <= end / L; ++line) {
+      const std::uint64_t set = line % sets;
+      if (set % factor != offset) continue;
+      const std::uint64_t lo = std::max(ref.addr, line * L);
+      const std::uint64_t hi = std::min(end, line * L + L - 1);
+      const std::uint64_t tag = line / sets;
+      const std::uint64_t newLine = tag * shrunkSets + set / factor;
+      remapped.push(MemRef{newLine * L + lo % L,
+                           static_cast<std::uint32_t>(hi - lo + 1),
+                           ref.type});
+    }
   }
   if (remapped.empty()) return 0.0;
 

@@ -105,9 +105,11 @@ struct RefHierarchyStats {
                                                      const CacheConfig& l2,
                                                      const Trace& trace);
 
-/// Naive re-statement of estimateMissRateBySetSampling: keep references
-/// whose set satisfies set % factor == offset, compress the kept sets
-/// into a cache 1/factor the size, and measure the oracle's miss rate.
+/// Naive re-statement of estimateMissRateBySetSampling: keep the
+/// byte ranges whose line's set satisfies set % factor == offset
+/// (walking every line an access touches, as the simulator's probes
+/// do), compress the kept sets into a cache 1/factor the size, and
+/// measure the oracle's miss rate.
 [[nodiscard]] double refEstimateMissRateBySetSampling(
     const CacheConfig& config, const Trace& trace, std::uint32_t factor,
     std::uint32_t offset = 0);

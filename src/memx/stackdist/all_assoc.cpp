@@ -122,7 +122,7 @@ template <typename DirtyT>
 
 }  // namespace
 
-AllAssocProfile::AllAssocProfile(const Trace& trace, std::uint32_t lineBytes,
+AllAssocProfile::AllAssocProfile(std::uint32_t lineBytes,
                                  std::uint32_t maxSets,
                                  std::uint32_t maxAssoc)
     : lineBytes_(lineBytes), maxAssoc_(maxAssoc) {
@@ -140,56 +140,100 @@ AllAssocProfile::AllAssocProfile(const Trace& trace, std::uint32_t lineBytes,
   lineShift_ = log2Exact(lineBytes);
   numS_ = log2Exact(maxSets) + 1;
 
-  // Fast path: thresholds fit a byte for every geometry with
-  // maxAssoc <= 254 and line indices fit 56 bits for every address
-  // below 2^(56 + lineShift), so the packed single-array pass serves
-  // essentially all real traces. It bails (returning false) on the
-  // first reference outside that address range; restart on the
-  // split-array fallback, whose threshold type is picked as narrow as
-  // the geometry allows.
-  const bool fitsByte =
-      maxAssoc_ + 1 <= std::numeric_limits<std::uint8_t>::max();
-  if (fitsByte && buildProfilePacked(trace, totalSlots)) return;
-  reads_ = writes_ = probes_ = writeProbes_ = 0;
-  if (fitsByte) {
-    buildProfile<std::uint8_t>(trace, totalSlots);
-  } else {
-    buildProfile<std::uint32_t>(trace, totalSlots);
-  }
-}
-
-bool AllAssocProfile::buildProfilePacked(const Trace& trace,
-                                         std::uint64_t totalSlots) {
-  // Recency lists for every (level, set): slot d holds the (d+1)-th most
-  // recently touched line of that set, encoded as line+1 in the low 56
-  // bits (0 = empty) with the entry's dirty threshold — the smallest
-  // associativity at which the line is dirty, maxAssoc + 1 = clean
-  // everywhere — packed in the top byte.
-  std::vector<std::uint64_t> slots(static_cast<std::size_t>(totalSlots), 0);
-
   const std::size_t buckets = bucketCount();
   refHistRead_.assign(numS_ * buckets, 0);
   refHistWrite_.assign(numS_ * buckets, 0);
   lineHist_.assign(numS_ * buckets, 0);
   dirtyEvictHist_.assign(numS_ * buckets, 0);
+  worst_.assign(numS_, 0);
+
+  // Recency lists for every (level, set): slot d holds the (d+1)-th
+  // most recently touched line of that set, encoded as line+1 so 0 is
+  // "empty". Fast path: thresholds fit a byte for every geometry with
+  // maxAssoc <= 254 and line indices fit 56 bits for every address
+  // below 2^(56 + lineShift), so the packed single-array pass serves
+  // essentially all real traces; feed() migrates to the split arrays
+  // the moment a reference breaks the address bound. Geometries whose
+  // thresholds don't fit a byte start split with 32-bit thresholds.
+  slots_.assign(static_cast<std::size_t>(totalSlots), 0);
+  const bool fitsByte =
+      maxAssoc_ + 1 <= std::numeric_limits<std::uint8_t>::max();
+  if (fitsByte) {
+    mode_ = Mode::Packed;
+  } else {
+    mode_ = Mode::Split32;
+    dirty32_.assign(static_cast<std::size_t>(totalSlots), maxAssoc_ + 1);
+  }
+}
+
+AllAssocProfile::AllAssocProfile(const Trace& trace, std::uint32_t lineBytes,
+                                 std::uint32_t maxSets,
+                                 std::uint32_t maxAssoc)
+    : AllAssocProfile(lineBytes, maxSets, maxAssoc) {
+  feed(trace);
+}
+
+void AllAssocProfile::feed(const MemRef* refs, std::size_t count) {
+  if (count == 0) return;
+  if (mode_ == Mode::Packed) {
+    const std::size_t consumed = feedPacked(refs, count);
+    if (consumed == count) return;
+    migrateFromPacked();
+    refs += consumed;
+    count -= consumed;
+  }
+  if (mode_ == Mode::Split8) {
+    feedSplit<std::uint8_t>(refs, count);
+  } else {
+    feedSplit<std::uint32_t>(refs, count);
+  }
+}
+
+void AllAssocProfile::migrateFromPacked() {
+  // Unpack threshold-in-top-byte entries into the parallel byte array.
+  // Empty slots (0) stay key 0; their threshold is never read by the
+  // ripple scan but gets the "clean everywhere" value anyway.
+  dirty8_.assign(slots_.size(), static_cast<std::uint8_t>(maxAssoc_ + 1));
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::uint64_t packed = slots_[i];
+    if (packed == 0) continue;
+    dirty8_[i] = static_cast<std::uint8_t>(packed >> kDirtyShift);
+    slots_[i] = packed & kKeyMask;
+  }
+  mode_ = Mode::Split8;
+}
+
+std::size_t AllAssocProfile::feedPacked(const MemRef* refs,
+                                        std::size_t count) {
+  const std::size_t buckets = bucketCount();
 
   // Hoisted per-level slot bases and set masks: the ripple scan runs
   // once per (probe, level), so index arithmetic shaved here is the
-  // profile's dominant cost after the scan itself.
+  // profile's dominant cost after the scan itself. Rebuilt per feed
+  // call — pointers into slots_ must not outlive a call (migration
+  // reuses the storage).
   std::vector<std::uint64_t*> base(numS_);
   std::vector<std::uint64_t> mask(numS_);
   for (unsigned s = 0; s < numS_; ++s) {
-    base[s] = slots.data() + levelOffset(s, maxAssoc_);
+    base[s] = slots_.data() + levelOffset(s, maxAssoc_);
     mask[s] = (std::uint64_t{1} << s) - 1;
   }
 
   // Per-reference worst (deepest) bucket at each level, so a reference
   // that straddles lines is counted as a miss iff any probe misses —
   // the same per-access accounting CacheSim uses.
-  std::vector<std::uint32_t> worst(numS_, 0);
+  std::vector<std::uint32_t>& worst = worst_;
 
-  for (const MemRef& ref : trace) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const MemRef& ref = refs[i];
     MEMX_EXPECTS(ref.size > 0, "access size must be positive");
+
+    const std::uint64_t firstLine = ref.addr >> lineShift_;
+    const std::uint64_t lastLine = (ref.addr + ref.size - 1) >> lineShift_;
+    if (firstLine > kMaxPackedLine || lastLine > kMaxPackedLine) {
+      return i;  // beyond the packable range (or wrapped): migrate
+    }
+
     const bool readLike = isReadLike(ref.type);
     if (readLike) {
       ++reads_;
@@ -197,12 +241,6 @@ bool AllAssocProfile::buildProfilePacked(const Trace& trace,
       ++writes_;
     }
     auto& refHist = readLike ? refHistRead_ : refHistWrite_;
-
-    const std::uint64_t firstLine = ref.addr >> lineShift_;
-    const std::uint64_t lastLine = (ref.addr + ref.size - 1) >> lineShift_;
-    if (firstLine > kMaxPackedLine || lastLine > kMaxPackedLine) {
-      return false;  // beyond the packable range (or wrapped): fall back
-    }
 
     if (firstLine == lastLine) {
       // Fast path — an access contained in one line (the overwhelmingly
@@ -290,26 +328,35 @@ bool AllAssocProfile::buildProfilePacked(const Trace& trace,
       ++refHist[row + worst[s]];
     }
   }
-  return true;
+  return count;
 }
 
+namespace {
+
 template <typename DirtyT>
-void AllAssocProfile::buildProfile(const Trace& trace,
-                                   std::uint64_t totalSlots) {
-  // Recency lists for every (level, set): slot d holds the (d+1)-th most
-  // recently touched line of that set, encoded as line+1 so 0 is "empty".
-  // `dirtyFrom` parallels it with each entry's dirty threshold (the
+[[nodiscard]] DirtyT* dirtyArray(std::vector<std::uint8_t>& dirty8,
+                                 std::vector<std::uint32_t>& dirty32);
+template <>
+std::uint8_t* dirtyArray<std::uint8_t>(std::vector<std::uint8_t>& dirty8,
+                                       std::vector<std::uint32_t>&) {
+  return dirty8.data();
+}
+template <>
+std::uint32_t* dirtyArray<std::uint32_t>(std::vector<std::uint8_t>&,
+                                         std::vector<std::uint32_t>& dirty32) {
+  return dirty32.data();
+}
+
+}  // namespace
+
+template <typename DirtyT>
+void AllAssocProfile::feedSplit(const MemRef* refs, std::size_t count) {
+  // `dirtyFrom` parallels slots_ with each entry's dirty threshold (the
   // smallest associativity at which the line is dirty; maxAssoc + 1 =
   // clean everywhere).
-  std::vector<std::uint64_t> slots(static_cast<std::size_t>(totalSlots), 0);
-  std::vector<DirtyT> dirtyFrom(static_cast<std::size_t>(totalSlots),
-                                static_cast<DirtyT>(maxAssoc_ + 1));
+  DirtyT* const dirtyFrom = dirtyArray<DirtyT>(dirty8_, dirty32_);
 
   const std::size_t buckets = bucketCount();
-  refHistRead_.assign(numS_ * buckets, 0);
-  refHistWrite_.assign(numS_ * buckets, 0);
-  lineHist_.assign(numS_ * buckets, 0);
-  dirtyEvictHist_.assign(numS_ * buckets, 0);
 
   // Hoisted per-level slot bases and set masks: the ripple scan runs
   // once per (probe, level), so index arithmetic shaved here is the
@@ -318,17 +365,18 @@ void AllAssocProfile::buildProfile(const Trace& trace,
   std::vector<DirtyT*> dirtyBase(numS_);
   std::vector<std::uint64_t> mask(numS_);
   for (unsigned s = 0; s < numS_; ++s) {
-    base[s] = slots.data() + levelOffset(s, maxAssoc_);
-    dirtyBase[s] = dirtyFrom.data() + levelOffset(s, maxAssoc_);
+    base[s] = slots_.data() + levelOffset(s, maxAssoc_);
+    dirtyBase[s] = dirtyFrom + levelOffset(s, maxAssoc_);
     mask[s] = (std::uint64_t{1} << s) - 1;
   }
 
   // Per-reference worst (deepest) bucket at each level, so a reference
   // that straddles lines is counted as a miss iff any probe misses —
   // the same per-access accounting CacheSim uses.
-  std::vector<std::uint32_t> worst(numS_, 0);
+  std::vector<std::uint32_t>& worst = worst_;
 
-  for (const MemRef& ref : trace) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const MemRef& ref = refs[i];
     MEMX_EXPECTS(ref.size > 0, "access size must be positive");
     const bool readLike = isReadLike(ref.type);
     if (readLike) {

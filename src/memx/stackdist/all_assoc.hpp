@@ -55,11 +55,26 @@ namespace memx {
 /// associativity in [1, maxAssoc].
 class AllAssocProfile {
 public:
-  /// One pass over `trace`. `lineBytes` and `maxSets` must be powers of
-  /// two, `maxAssoc` >= 1. Accesses straddling line boundaries probe
-  /// each touched line, exactly like CacheSim.
+  /// Empty profile ready for incremental feed(). `lineBytes` and
+  /// `maxSets` must be powers of two, `maxAssoc` >= 1. Accesses
+  /// straddling line boundaries probe each touched line, exactly like
+  /// CacheSim.
+  AllAssocProfile(std::uint32_t lineBytes, std::uint32_t maxSets,
+                  std::uint32_t maxAssoc);
+
+  /// One pass over `trace` (equivalent to the empty constructor plus a
+  /// single feed of the whole trace).
   AllAssocProfile(const Trace& trace, std::uint32_t lineBytes,
                   std::uint32_t maxSets, std::uint32_t maxAssoc);
+
+  /// Present `count` further references, in trace order. Splitting a
+  /// trace into any sequence of feed() calls yields bit-identical
+  /// histograms to one whole-trace pass — recency state persists across
+  /// calls — which is what lets out-of-core traces stream through in
+  /// chunks. Every accessor below is valid between feeds and reports
+  /// the profile of the references seen so far.
+  void feed(const MemRef* refs, std::size_t count);
+  void feed(const Trace& trace) { feed(trace.refs().data(), trace.size()); }
 
   [[nodiscard]] std::uint32_t lineBytes() const noexcept {
     return lineBytes_;
@@ -119,24 +134,36 @@ private:
                                       unsigned level,
                                       std::uint32_t assoc) const;
 
-  /// Packed profiling pass: each recency entry carries its dirty
+  /// Packed feeding pass: each recency entry carries its dirty
   /// threshold in the top byte of the 64-bit key slot, so the ripple
   /// scan streams one array instead of a keys array plus a parallel
   /// thresholds array. Requires maxAssoc_ <= 254 (threshold fits a
   /// byte) and every touched line index below 2^56 - 1 (key = line + 1
-  /// fits the low 56 bits); returns false without completing when a
-  /// reference breaks the address bound, and the constructor restarts
-  /// on the split-array fallback. Defined in all_assoc.cpp.
-  [[nodiscard]] bool buildProfilePacked(const Trace& trace,
-                                        std::uint64_t totalSlots);
+  /// fits the low 56 bits). Returns the number of references consumed;
+  /// a short count means the next reference breaks the address bound
+  /// (its state is untouched) and feed() migrates to the split-array
+  /// representation before continuing. Defined in all_assoc.cpp.
+  [[nodiscard]] std::size_t feedPacked(const MemRef* refs,
+                                       std::size_t count);
 
-  /// Split-array profiling pass, parameterized on the dirty-threshold
+  /// Split-array feeding pass, parameterized on the dirty-threshold
   /// element type (uint8_t whenever maxAssoc_ <= 254, else uint32_t):
   /// the general fallback for geometries or address ranges the packed
-  /// pass cannot encode. Defined in all_assoc.cpp; only the constructor
-  /// instantiates it.
+  /// pass cannot encode. Defined in all_assoc.cpp.
   template <typename DirtyT>
-  void buildProfile(const Trace& trace, std::uint64_t totalSlots);
+  void feedSplit(const MemRef* refs, std::size_t count);
+
+  /// Decode the packed slots into split key + threshold arrays
+  /// (byte-wide thresholds; only packed-eligible geometries ever reach
+  /// the packed representation). The decoded state is exactly what a
+  /// split-array pass over the same prefix would hold, so feeding
+  /// continues bit-identically after migration.
+  void migrateFromPacked();
+
+  /// Recency-state representation currently in use; feed() migrates
+  /// Packed -> Split8 at most once, when a line index outgrows the
+  /// packed encoding.
+  enum class Mode { Packed, Split8, Split32 };
 
   std::uint32_t lineBytes_ = 0;
   std::uint32_t maxAssoc_ = 0;
@@ -157,6 +184,16 @@ private:
   std::uint64_t writes_ = 0;
   std::uint64_t probes_ = 0;
   std::uint64_t writeProbes_ = 0;  ///< probes belonging to write refs
+
+  // Recency state, persistent across feed() calls. slots_ holds the
+  // bounded per-(level, set) recency lists; in Packed mode each entry
+  // carries its dirty threshold in the top byte, in Split modes the
+  // thresholds live in the parallel dirty8_/dirty32_ array.
+  Mode mode_ = Mode::Packed;
+  std::vector<std::uint64_t> slots_;
+  std::vector<std::uint8_t> dirty8_;
+  std::vector<std::uint32_t> dirty32_;
+  std::vector<std::uint32_t> worst_;  ///< per-level scratch (straddles)
 };
 
 }  // namespace memx

@@ -44,6 +44,43 @@ void StackDistSim::run(const Trace& trace) {
   }
 }
 
+void StackDistSim::run(TraceSource& source, std::size_t chunkRefs) {
+  MEMX_EXPECTS(chunkRefs > 0, "chunkRefs must be positive");
+  MEMX_EXPECTS(!ran_ || streaming_,
+               "cannot stream into a bank after a whole-trace run(); "
+               "construct a new bank");
+  if (profiles_.empty()) {
+    profiles_.reserve(groups_.size());
+    for (const LineGroup& group : groups_) {
+      profiles_.emplace_back(group.lineBytes, group.maxSets, group.maxAssoc);
+    }
+  }
+  ran_ = true;
+  streaming_ = true;
+
+  // One pass over the stream feeds every line group — unlike
+  // run(Trace)'s per-group passes, the stream cannot be rewound.
+  std::vector<MemRef> chunk;
+  chunk.reserve(chunkRefs);
+  while (fillChunk(source, chunk, chunkRefs) > 0) {
+    for (AllAssocProfile& profile : profiles_) {
+      profile.feed(chunk.data(), chunk.size());
+    }
+  }
+  refreshStats(profiles_);
+}
+
+void StackDistSim::refreshStats(
+    const std::vector<AllAssocProfile>& profiles) {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    for (const std::size_t i : groups_[g].members) {
+      const CacheConfig& config = configs_[i];
+      stats_[i] = profiles[g].stats(config.numSets(), config.associativity,
+                                    config.writePolicy);
+    }
+  }
+}
+
 const CacheStats& StackDistSim::stats(std::size_t i) const {
   MEMX_EXPECTS(ran_, "stats() requires a completed run()");
   return stats_[i];

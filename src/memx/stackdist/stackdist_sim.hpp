@@ -48,6 +48,17 @@ public:
   /// are per-trace; build a new bank per trace).
   void run(const Trace& trace);
 
+  /// Drain `source` through streaming per-line-size profiles in chunks
+  /// of `chunkRefs` references: one pass over the stream feeds every
+  /// line group, so out-of-core traces profile in bounded memory with
+  /// bit-identical statistics to the whole-trace run. Callable
+  /// repeatedly — profile state persists and stats() reflects
+  /// everything streamed so far, which is how the streamed drivers
+  /// split warmup from counted references. Cannot be mixed with
+  /// run(Trace) on the same bank.
+  void run(TraceSource& source,
+           std::size_t chunkRefs = kDefaultTraceChunkRefs);
+
   [[nodiscard]] std::size_t size() const noexcept { return configs_.size(); }
   [[nodiscard]] const CacheConfig& config(std::size_t i) const {
     return configs_[i];
@@ -70,10 +81,18 @@ private:
     std::vector<std::size_t> members;  ///< indices into configs_
   };
 
+  /// Re-derive every member's statistics from its group's profile
+  /// (valid at any chunk boundary — the profiles are incremental).
+  void refreshStats(const std::vector<AllAssocProfile>& profiles);
+
   std::vector<CacheConfig> configs_;
   std::vector<LineGroup> groups_;
   std::vector<CacheStats> stats_;
+  /// Streaming profiles, parallel to groups_; built lazily by the
+  /// first run(TraceSource&) call and empty in whole-trace mode.
+  std::vector<AllAssocProfile> profiles_;
   bool ran_ = false;
+  bool streaming_ = false;
 };
 
 /// Convenience: evaluate `trace` against every config analytically,

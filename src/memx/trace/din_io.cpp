@@ -26,45 +26,130 @@ void writeDin(std::ostream& os, const Trace& trace) {
   }
 }
 
-Trace readDin(std::istream& is, std::uint32_t refSize) {
+namespace {
+
+[[nodiscard]] bool isSpace(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+}
+
+[[nodiscard]] bool isDigit(char c) noexcept { return c >= '0' && c <= '9'; }
+
+[[nodiscard]] int hexValue(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+[[nodiscard]] std::string_view skipSpace(std::string_view s) noexcept {
+  std::size_t i = 0;
+  while (i < s.size() && isSpace(s[i])) ++i;
+  return s.substr(i);
+}
+
+[[noreturn]] void badLine(std::size_t lineNo, const std::string& what) {
+  throw ContractViolation("din line " + std::to_string(lineNo) + ": " + what);
+}
+
+}  // namespace
+
+std::optional<MemRef> parseDinLine(std::string_view line, std::size_t lineNo,
+                                   std::uint32_t refSize) {
   MEMX_EXPECTS(refSize > 0, "reference size must be positive");
-  Trace trace;
-  std::string line;
-  std::size_t lineNo = 0;
-  while (std::getline(is, line)) {
-    ++lineNo;
-    // Strip comments and skip blanks.
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.resize(hash);
-    std::istringstream ls(line);
-    int label = -1;
-    std::string addrText;
-    if (!(ls >> label)) continue;  // blank / comment-only line
-    MEMX_EXPECTS(ls >> addrText, "din line " + std::to_string(lineNo) +
-                                     ": missing address");
-    MEMX_EXPECTS(label >= 0 && label <= 2,
-                 "din line " + std::to_string(lineNo) +
-                     ": unknown label " + std::to_string(label));
-    std::uint64_t addr = 0;
-    std::size_t consumed = 0;
-    bool parsed = true;
-    try {
-      addr = std::stoull(addrText, &consumed, 16);
-    } catch (const std::exception&) {
-      parsed = false;
-    }
-    MEMX_EXPECTS(parsed && consumed == addrText.size(),
-                 "din line " + std::to_string(lineNo) + ": bad address " +
-                     addrText);
-    AccessType type = AccessType::Read;
-    if (label == static_cast<int>(DinLabel::Write)) {
-      type = AccessType::Write;
-    } else if (label == static_cast<int>(DinLabel::Ifetch)) {
-      type = AccessType::Instr;
-    }
-    trace.push(MemRef{addr, refSize, type});
+
+  // Strip trailing comment, then leading whitespace.
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  line = skipSpace(line);
+  if (line.empty()) return std::nullopt;
+
+  // Label: bare decimal digits, value 0..2. A lenient `>> int` parse
+  // would accept "+1"/"-1" and silently skip non-numeric lines; both
+  // hide trace corruption, so be strict.
+  std::size_t i = 0;
+  unsigned label = 0;
+  std::size_t labelDigits = 0;
+  while (i < line.size() && isDigit(line[i])) {
+    label = label * 10 + static_cast<unsigned>(line[i] - '0');
+    if (label > 9) label = 10;  // clamp; only 0..2 is ever valid
+    ++labelDigits;
+    ++i;
   }
-  return trace;
+  if (labelDigits == 0 || (i < line.size() && !isSpace(line[i]))) {
+    badLine(lineNo, "bad label '" + std::string(line.substr(0, line.find_first_of(" \t\r\v\f"))) + "'");
+  }
+  if (label > 2) {
+    badLine(lineNo, "unknown label " + std::to_string(label));
+  }
+
+  // Address: unsigned hex, optional 0x/0X prefix. No sign: stoull-style
+  // parsing would wrap "-1" to 0xffffffffffffffff.
+  std::string_view rest = skipSpace(line.substr(i));
+  if (rest.empty()) badLine(lineNo, "missing address");
+  const std::string_view addrText =
+      rest.substr(0, [&] {
+        std::size_t n = 0;
+        while (n < rest.size() && !isSpace(rest[n])) ++n;
+        return n;
+      }());
+  std::string_view digits = addrText;
+  if (digits.size() >= 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    digits = digits.substr(2);
+  }
+  if (digits.empty()) {
+    badLine(lineNo, "bad address '" + std::string(addrText) + "'");
+  }
+  std::uint64_t addr = 0;
+  std::size_t significant = 0;
+  for (char c : digits) {
+    const int v = hexValue(c);
+    if (v < 0) badLine(lineNo, "bad address '" + std::string(addrText) + "'");
+    if (addr != 0 || v != 0) ++significant;
+    if (significant > 16) {
+      badLine(lineNo,
+              "address '" + std::string(addrText) + "' overflows 64 bits");
+    }
+    addr = (addr << 4) | static_cast<std::uint64_t>(v);
+  }
+
+  // Nothing may follow the address — trailing tokens used to be
+  // silently dropped, which turned column misalignment into a
+  // wrong-but-plausible trace.
+  const std::string_view tail = skipSpace(rest.substr(addrText.size()));
+  if (!tail.empty()) {
+    badLine(lineNo, "trailing garbage '" + std::string(tail) + "'");
+  }
+
+  AccessType type = AccessType::Read;
+  if (label == static_cast<unsigned>(DinLabel::Write)) {
+    type = AccessType::Write;
+  } else if (label == static_cast<unsigned>(DinLabel::Ifetch)) {
+    type = AccessType::Instr;
+  }
+  return MemRef{addr, refSize, type};
+}
+
+DinStreamSource::DinStreamSource(std::istream& is, std::uint32_t refSize)
+    : is_(&is), refSize_(refSize) {
+  MEMX_EXPECTS(refSize > 0, "reference size must be positive");
+}
+
+std::optional<MemRef> DinStreamSource::next() {
+  while (std::getline(*is_, line_)) {
+    ++lineNo_;
+    auto ref = parseDinLine(line_, lineNo_, refSize_);
+    if (ref) {
+      ++refsDecoded_;
+      return ref;
+    }
+  }
+  return std::nullopt;
+}
+
+Trace readDin(std::istream& is, std::uint32_t refSize) {
+  DinStreamSource source(is, refSize);
+  return drain(source);
 }
 
 std::string toDinString(const Trace& trace) {

@@ -9,6 +9,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "memx/trace/trace.hpp"
 
@@ -26,11 +27,49 @@ enum class DinLabel : int {
 /// representable in din and is dropped (Dinero assumes word accesses).
 void writeDin(std::ostream& os, const Trace& trace);
 
-/// Parse a din stream. Lines may use any whitespace separation; blank
-/// lines and lines starting with '#' are skipped. Label 2 (ifetch) is
-/// preserved as AccessType::Instr so traces round-trip. Throws
-/// memx::ContractViolation on malformed input.
-/// `refSize` is the access size to stamp on every reference.
+/// Parse one din line. Returns nullopt for blank / comment-only lines
+/// (a `#` starts a comment running to end of line). Otherwise the line
+/// must be exactly `<label> <hex-address>`: the label a bare decimal
+/// 0/1/2 and the address unsigned hex digits with an optional 0x/0X
+/// prefix. Signed addresses ("-1" would silently wrap to 2^64-1 through
+/// a lenient strtoull-style parse), out-of-range values and trailing
+/// tokens all throw memx::ContractViolation naming `lineNo`.
+/// `refSize` is stamped on the returned reference.
+[[nodiscard]] std::optional<MemRef> parseDinLine(std::string_view line,
+                                                 std::size_t lineNo,
+                                                 std::uint32_t refSize = 4);
+
+/// Streaming din decoder over any std::istream (a file, a
+/// GzipInputStream, a stringstream). Pulls one line per next() call, so
+/// memory use is independent of trace length. Non-owning: the stream
+/// must outlive the source. ingest() reports references decoded; byte
+/// accounting belongs to the stream owner (see FileTraceSource).
+class DinStreamSource final : public TraceSource {
+public:
+  explicit DinStreamSource(std::istream& is, std::uint32_t refSize = 4);
+
+  [[nodiscard]] std::optional<MemRef> next() override;
+  [[nodiscard]] IngestStats ingest() const override {
+    return {0, refsDecoded_};
+  }
+
+  /// Lines consumed so far (including blanks and comments).
+  [[nodiscard]] std::size_t lineNo() const noexcept { return lineNo_; }
+
+private:
+  std::istream* is_;
+  std::string line_;
+  std::uint32_t refSize_;
+  std::size_t lineNo_ = 0;
+  std::uint64_t refsDecoded_ = 0;
+};
+
+/// Parse a din stream into memory. Blank lines and comments are
+/// skipped; everything else must satisfy parseDinLine, which throws
+/// memx::ContractViolation (naming the line) on malformed input.
+/// Label 2 (ifetch) is preserved as AccessType::Instr so traces
+/// round-trip. `refSize` is the access size to stamp on every
+/// reference.
 [[nodiscard]] Trace readDin(std::istream& is, std::uint32_t refSize = 4);
 
 /// Convenience: round-trip through a string (test/bench helper).

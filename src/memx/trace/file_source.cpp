@@ -1,0 +1,53 @@
+#include "memx/trace/file_source.hpp"
+
+#include "memx/util/assert.hpp"
+
+namespace memx {
+
+namespace detail {
+
+CountingInBuf::int_type CountingInBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  raw_->read(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  const auto got = static_cast<std::size_t>(raw_->gcount());
+  if (got == 0) return traits_type::eof();
+  bytes_ += got;
+  setg(buf_.data(), buf_.data(), buf_.data() + got);
+  return traits_type::to_int_type(*gptr());
+}
+
+}  // namespace detail
+
+bool isGzipPath(const std::string& path) {
+  static const std::string kExt = ".gz";
+  return path.size() > kExt.size() &&
+         path.compare(path.size() - kExt.size(), kExt.size(), kExt) == 0;
+}
+
+FileTraceSource::FileTraceSource(const std::string& path,
+                                 std::uint32_t refSize)
+    : path_(path),
+      file_(path, std::ios::binary),
+      counting_(file_),
+      counted_(&counting_) {
+  MEMX_EXPECTS(file_.is_open(), "cannot open trace file: " + path);
+  if (isGzipPath(path)) {
+    MEMX_EXPECTS(gzipSupported(),
+                 "trace file " + path +
+                     " is gzip-compressed but this build has no zlib");
+    gunzip_ = std::make_unique<GzipInputStream>(counted_);
+    din_ = std::make_unique<DinStreamSource>(*gunzip_, refSize);
+  } else {
+    din_ = std::make_unique<DinStreamSource>(counted_, refSize);
+  }
+}
+
+FileTraceSource::~FileTraceSource() = default;
+
+std::optional<MemRef> FileTraceSource::next() { return din_->next(); }
+
+IngestStats FileTraceSource::ingest() const {
+  return {counting_.bytes(), din_->ingest().refsDecoded};
+}
+
+}  // namespace memx

@@ -1,0 +1,69 @@
+// Bounded-memory gzip/zlib stream adapters.
+//
+// Real trace files ship compressed (a din text trace deflates ~10x), so
+// out-of-core ingestion decompresses on the fly instead of inflating to
+// disk or memory first. GzipInputStream is a std::istream whose
+// streambuf inflates an underlying compressed stream through fixed-size
+// buffers — memory use is independent of the decompressed size — and
+// GzipOutputStream is the deflating counterpart the test suite and the
+// ingest bench use to produce .din.gz fixtures.
+//
+// Both are thin wrappers over zlib. When the build found no zlib,
+// gzipSupported() returns false and the constructors throw
+// memx::ContractViolation instead of silently reading garbage.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+
+namespace memx {
+
+namespace detail {
+class GzipInBuf;
+class GzipOutBuf;
+}  // namespace detail
+
+/// True when this build can inflate/deflate gzip streams (zlib found at
+/// configure time).
+[[nodiscard]] bool gzipSupported() noexcept;
+
+/// std::istream delivering the decompressed bytes of a gzip (or bare
+/// zlib) stream read from `raw`. Detects the format from the header;
+/// concatenated gzip members are inflated back to back, matching
+/// `gzip -d`. Non-owning: `raw` must outlive this stream. Throws
+/// ContractViolation on corrupt input (bad header, truncated stream,
+/// CRC mismatch) and when gzip support is not built.
+class GzipInputStream : public std::istream {
+public:
+  explicit GzipInputStream(std::istream& raw,
+                           std::size_t bufBytes = std::size_t{1} << 16);
+  ~GzipInputStream() override;
+
+  /// Compressed bytes consumed from the underlying stream so far.
+  [[nodiscard]] std::uint64_t compressedBytesRead() const noexcept;
+
+private:
+  std::unique_ptr<detail::GzipInBuf> buf_;
+};
+
+/// std::ostream whose bytes are deflated (gzip format) onto `raw`.
+/// The stream is finalized (deflate tail + CRC) by close() or the
+/// destructor; call close() explicitly when you need the flush to be
+/// diagnosable, destructors swallow errors. `level` is the zlib
+/// compression level (1 = fastest, 9 = smallest, -1 = zlib default).
+class GzipOutputStream : public std::ostream {
+public:
+  explicit GzipOutputStream(std::ostream& raw, int level = -1,
+                            std::size_t bufBytes = std::size_t{1} << 16);
+  ~GzipOutputStream() override;
+
+  /// Flush all pending output and write the gzip trailer. Idempotent.
+  void close();
+
+private:
+  std::unique_ptr<detail::GzipOutBuf> buf_;
+};
+
+}  // namespace memx

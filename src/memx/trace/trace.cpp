@@ -24,6 +24,17 @@ std::optional<MemRef> VectorTraceSource::next() {
   return trace_[pos_++];
 }
 
+std::size_t fillChunk(TraceSource& source, std::vector<MemRef>& buf,
+                      std::size_t chunkRefs) {
+  buf.clear();
+  while (buf.size() < chunkRefs) {
+    auto ref = source.next();
+    if (!ref) break;
+    buf.push_back(*ref);
+  }
+  return buf.size();
+}
+
 Trace drain(TraceSource& source) {
   Trace out;
   while (auto ref = source.next()) out.push(*ref);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -44,14 +45,39 @@ private:
   std::vector<MemRef> refs_;
 };
 
-/// Pull-based source of references; lets large synthetic workloads be
-/// simulated without materializing the whole trace.
+/// I/O-side accounting of a streaming source (what external ingestion
+/// has cost so far, not what a consumer has kept). Sources that do no
+/// external decoding report zeros.
+struct IngestStats {
+  std::uint64_t bytesRead = 0;    ///< raw bytes consumed (compressed size
+                                  ///< for a .din.gz, file size for a .din)
+  std::uint64_t refsDecoded = 0;  ///< references decoded from the format
+};
+
+/// Default chunk granularity of the streaming replay loops: 64k
+/// references (~1 MiB of MemRef buffer) keeps the per-chunk dispatch
+/// cost invisible while bounding resident memory independent of trace
+/// length.
+inline constexpr std::size_t kDefaultTraceChunkRefs = std::size_t{1} << 16;
+
+/// Pull-based source of references; lets large synthetic workloads and
+/// out-of-core trace files be simulated without materializing the whole
+/// trace.
 class TraceSource {
 public:
   virtual ~TraceSource() = default;
   /// Next reference, or nullopt when the stream is exhausted.
   [[nodiscard]] virtual std::optional<MemRef> next() = 0;
+  /// Ingestion-side accounting; decorators forward to the source they
+  /// wrap so the decode cost stays visible through a windowing chain.
+  [[nodiscard]] virtual IngestStats ingest() const { return {}; }
 };
+
+/// Fill `buf` (cleared first) with up to `chunkRefs` references pulled
+/// from `source`. Returns the number delivered; a short count means the
+/// source is exhausted. The chunked replay loops are all built on this.
+std::size_t fillChunk(TraceSource& source, std::vector<MemRef>& buf,
+                      std::size_t chunkRefs);
 
 /// Adapts an in-memory Trace to the streaming interface.
 class VectorTraceSource final : public TraceSource {

@@ -1,0 +1,21 @@
+#include "memx/trace/trace_source.hpp"
+
+namespace memx {
+
+std::optional<MemRef> WindowedSource::next() {
+  if (!skipped_) {
+    skipped_ = true;
+    for (std::uint64_t i = 0; i < window_.skip; ++i) {
+      if (!inner_->next()) return std::nullopt;
+    }
+  }
+  if (window_.limit != 0 &&
+      delivered_ >= window_.warmup + window_.limit) {
+    return std::nullopt;
+  }
+  auto ref = inner_->next();
+  if (ref) ++delivered_;
+  return ref;
+}
+
+}  // namespace memx

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <random>
 #include <sstream>
 
 #include "memx/trace/din_io.hpp"
@@ -74,6 +75,62 @@ TEST(DinIo, RejectsMalformedInput) {
   EXPECT_THROW(fromDinString("0 10", 0), ContractViolation);  // bad size
 }
 
+TEST(DinIo, RejectsSignedAddresses) {
+  // A stoull-style parse accepts "-1" and wraps it to 2^64 - 1 — a
+  // silently corrupt trace. Signs are not hex digits; reject them.
+  EXPECT_THROW(fromDinString("0 -1\n"), ContractViolation);
+  EXPECT_THROW(fromDinString("1 -ff\n"), ContractViolation);
+  EXPECT_THROW(fromDinString("0 +10\n"), ContractViolation);
+}
+
+TEST(DinIo, RejectsTrailingGarbage) {
+  // Extra tokens used to be silently dropped, turning a column
+  // misalignment into a wrong-but-plausible trace.
+  EXPECT_THROW(fromDinString("0 10 20\n"), ContractViolation);
+  EXPECT_THROW(fromDinString("1 ff extra\n"), ContractViolation);
+  // ... but a comment after the address is fine.
+  EXPECT_EQ(fromDinString("0 10 # fine\n").size(), 1u);
+}
+
+TEST(DinIo, RejectsNonNumericLabelLinesInsteadOfSkipping) {
+  // Garbage-label lines were silently skipped (`>> int` fails, line
+  // dropped), hiding trace corruption. They now throw.
+  EXPECT_THROW(fromDinString("r 10\n"), ContractViolation);
+  EXPECT_THROW(fromDinString("load 10\n"), ContractViolation);
+  EXPECT_THROW(fromDinString("-1 10\n"), ContractViolation);
+  EXPECT_THROW(fromDinString("+1 10\n"), ContractViolation);
+}
+
+TEST(DinIo, RejectsAddressOverflow) {
+  // 17 significant hex digits cannot fit 64 bits.
+  EXPECT_THROW(fromDinString("0 10000000000000000\n"), ContractViolation);
+  // Leading zeros are not significant.
+  const Trace t = fromDinString("0 000000000000000000ff\n");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].addr, 0xffu);
+  // The full 64-bit range round-trips.
+  const Trace big = fromDinString("0 ffffffffffffffff\n");
+  EXPECT_EQ(big[0].addr, 0xffffffffffffffffull);
+}
+
+TEST(DinIo, AcceptsHexPrefix) {
+  const Trace t = fromDinString("0 0x1f\n1 0XFF\n");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].addr, 0x1fu);
+  EXPECT_EQ(t[1].addr, 0xffu);
+  EXPECT_THROW(fromDinString("0 0x\n"), ContractViolation);  // prefix only
+}
+
+TEST(DinIo, ErrorsNameTheLine) {
+  try {
+    (void)fromDinString("0 10\n1 20\n0 bad!\n");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(DinIo, WhitespaceVariantsAccepted) {
   const Trace t = fromDinString("0\t1f\n  1    2A\n");
   ASSERT_EQ(t.size(), 2u);
@@ -83,6 +140,34 @@ TEST(DinIo, WhitespaceVariantsAccepted) {
 
 TEST(DinIo, EmptyInputYieldsEmptyTrace) {
   EXPECT_TRUE(fromDinString("").empty());
+}
+
+TEST(DinIo, PropertyRandomTracesRoundTripBitIdentically) {
+  // din carries (label, address); refSize is stamped on parse. Any
+  // trace of word accesses must survive writeDin -> readDin exactly,
+  // across the full 64-bit address range.
+  std::mt19937_64 rng(123);
+  for (int iter = 0; iter < 25; ++iter) {
+    Trace original;
+    const std::size_t n = 1 + rng() % 300;
+    for (std::size_t i = 0; i < n; ++i) {
+      // Vary magnitude so small, medium and near-2^64 addresses all
+      // appear.
+      const std::uint64_t addr = rng() >> (rng() % 64);
+      const std::uint32_t pick = rng() % 3;
+      const AccessType type = pick == 0   ? AccessType::Read
+                              : pick == 1 ? AccessType::Write
+                                          : AccessType::Instr;
+      original.push(MemRef{addr, 4, type});
+    }
+    const Trace parsed = fromDinString(toDinString(original), 4);
+    ASSERT_EQ(parsed.size(), original.size()) << "iter " << iter;
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      ASSERT_EQ(parsed[i].addr, original[i].addr) << "iter " << iter;
+      ASSERT_EQ(parsed[i].type, original[i].type) << "iter " << iter;
+      ASSERT_EQ(parsed[i].size, 4u) << "iter " << iter;
+    }
+  }
 }
 
 TEST(DinIo, StreamInterface) {
