@@ -14,11 +14,14 @@
 //   memx_cli spm <kernel> [--budget <bytes>] [--line <bytes>]
 //   memx_cli legality <kernel>
 //   memx_cli kernels
+//   memx_cli serve [--workers <n>] [--queue <n>]
+//   memx_cli request '<json-request-line>'
 //
 // Kernels: compress matmul matadd pde sor dequant transpose lu fir
 //          matvec histogram — or a path to a .mx kernel file (see
 //          examples/kernels/).
 #include <cmath>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -29,50 +32,24 @@
 #include "memx/core/selection.hpp"
 #include "memx/core/trace_explorer.hpp"
 #include "memx/icache/ifetch_model.hpp"
-#include "memx/kernels/benchmarks.hpp"
-#include "memx/kernels/extra_kernels.hpp"
+#include "memx/kernels/registry.hpp"
 #include "memx/layout/offchip_assign.hpp"
 #include "memx/loopir/kernel_parser.hpp"
 #include "memx/loopir/trace_gen.hpp"
 #include "memx/report/table.hpp"
 #include "memx/search/front_io.hpp"
+#include "memx/serve/server.hpp"
 #include "memx/search/nsga.hpp"
 #include "memx/spm/spm_explorer.hpp"
 #include "memx/trace/din_io.hpp"
 #include "memx/trace/file_source.hpp"
 #include "memx/trace/working_set.hpp"
+#include "memx/util/numeric_io.hpp"
 #include "memx/xform/dependence.hpp"
 
 namespace {
 
 using namespace memx;
-
-const std::vector<std::string> kKernelNames = {
-    "compress", "matmul", "matadd",    "pde", "sor", "dequant",
-    "transpose", "lu",    "fir", "matvec", "histogram"};
-
-Kernel kernelByName(const std::string& name) {
-  // A path (contains '/' or ends in .mx) is parsed as a kernel file.
-  if (name.find('/') != std::string::npos ||
-      (name.size() > 3 && name.substr(name.size() - 3) == ".mx")) {
-    std::ifstream file(name);
-    if (!file) throw std::invalid_argument("cannot open " + name);
-    return parseKernel(file, name);
-  }
-  if (name == "compress") return compressKernel();
-  if (name == "matmul") return matMulKernel();
-  if (name == "matadd") return matrixAddKernel(6, 1);
-  if (name == "pde") return pdeKernel();
-  if (name == "sor") return sorKernel();
-  if (name == "dequant") return dequantKernel();
-  if (name == "transpose") return transposeKernel();
-  if (name == "lu") return luKernel();
-  if (name == "fir") return firKernel();
-  if (name == "matvec") return matVecKernel();
-  if (name == "histogram") return histogramKernel();
-  throw std::invalid_argument("unknown kernel '" + name +
-                              "'; try: memx_cli kernels");
-}
 
 struct Args {
   std::vector<std::string> positional;
@@ -88,6 +65,8 @@ struct Args {
   search::SearchOptions searchOptions;
   std::optional<std::string> traceFile;
   TraceWindow window;
+  unsigned workers = 0;
+  std::size_t queueCapacity = 64;
 };
 
 /// Strict numeric flag parsing, mirroring result_io's discipline: a
@@ -117,19 +96,12 @@ std::uint64_t parseFlagUnsigned(const std::string& flag,
 }
 
 double parseFlagDouble(const std::string& flag, const std::string& text) {
-  const std::string where = flag + " value '" + text + "'";
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(text, &pos);
-    if (pos != text.size() || !std::isfinite(v)) {
-      throw std::invalid_argument(where + ": not a finite number");
-    }
-    return v;
-  } catch (const std::invalid_argument&) {
-    throw;
-  } catch (const std::exception&) {
-    throw std::invalid_argument(where + ": not a finite number");
+  const auto v = parseDoubleText(text);
+  if (!v) {
+    throw std::invalid_argument(flag + " value '" + text +
+                                "': not a finite number");
   }
+  return *v;
 }
 
 Args parseArgs(int argc, char** argv) {
@@ -174,6 +146,12 @@ Args parseArgs(int argc, char** argv) {
     } else if (arg == "--budget") {
       args.searchOptions.maxEvaluations =
           parseFlagUnsigned(arg, value(), kU64);
+    } else if (arg == "--workers") {
+      args.workers =
+          static_cast<unsigned>(parseFlagUnsigned(arg, value(), 1024));
+    } else if (arg == "--queue") {
+      args.queueCapacity = static_cast<std::size_t>(
+          parseFlagUnsigned(arg, value(), 1u << 20));
     } else if (arg == "--trace") {
       args.traceFile = value();
     } else if (arg == "--skip") {
@@ -256,7 +234,7 @@ int cmdExplore(const Args& args) {
     }
     return 0;
   }
-  const Kernel kernel = kernelByName(args.positional.at(1));
+  const Kernel kernel = kernelByNameOrPath(args.positional.at(1));
   ExploreOptions options;
   options.energy.emNj = args.em;
   options.optimizeLayout = !args.noLayout;
@@ -315,7 +293,7 @@ int cmdSimulate(const Args& args) {
 }
 
 int cmdLayout(const Args& args) {
-  const Kernel kernel = kernelByName(args.positional.at(1));
+  const Kernel kernel = kernelByNameOrPath(args.positional.at(1));
   const CacheConfig cache =
       parseCacheLabel(args.cacheLabel.value_or("C64L8"));
   const AssignmentPlan plan = assignConflictFree(kernel, cache);
@@ -343,7 +321,7 @@ int cmdLayout(const Args& args) {
 }
 
 int cmdIcache(const Args& args) {
-  const Kernel kernel = kernelByName(args.positional.at(1));
+  const Kernel kernel = kernelByNameOrPath(args.positional.at(1));
   const InstructionLayout layout;
   const Trace fetches = generateIFetchTrace(kernel, layout);
   ExploreOptions options;
@@ -355,7 +333,7 @@ int cmdIcache(const Args& args) {
 }
 
 int cmdWorkingSet(const Args& args) {
-  const Kernel kernel = kernelByName(args.positional.at(1));
+  const Kernel kernel = kernelByNameOrPath(args.positional.at(1));
   const ReuseProfile profile(generateTrace(kernel), args.lineBytes);
   Table t({"lines", "predicted fully-assoc miss rate"});
   for (std::uint64_t lines = 1; lines <= profile.uniqueLines();
@@ -370,7 +348,7 @@ int cmdWorkingSet(const Args& args) {
 }
 
 int cmdSpm(const Args& args) {
-  const Kernel kernel = kernelByName(args.positional.at(1));
+  const Kernel kernel = kernelByNameOrPath(args.positional.at(1));
   const std::uint32_t budget = args.cacheLabel
                                    ? parseCacheLabel(*args.cacheLabel)
                                          .sizeBytes
@@ -393,7 +371,7 @@ int cmdSpm(const Args& args) {
 }
 
 int cmdLegality(const Args& args) {
-  const Kernel kernel = kernelByName(args.positional.at(1));
+  const Kernel kernel = kernelByNameOrPath(args.positional.at(1));
   Table t({"transform", "legal"});
   if (kernel.nest.depth() >= 2) {
     t.addRow({"tile2D", tilingIsLegal(kernel) ? "yes" : "no"});
@@ -420,18 +398,56 @@ int cmdLegality(const Args& args) {
   return 0;
 }
 
+serve::Server* gServeServer = nullptr;
+
+extern "C" void memxCliOnSignal(int) {
+  // Async-signal-safe: only sets relaxed atomic flags. The blocked
+  // stdin read returns EINTR (the handler is installed without
+  // SA_RESTART), the reader loop observes the drain flag, in-flight
+  // requests finish, and queued ones get a clean shutdown error.
+  if (gServeServer != nullptr) gServeServer->requestDrain();
+}
+
+int cmdServe(const Args& args) {
+  serve::ServerOptions options;
+  options.workers = args.workers;
+  options.queueCapacity = args.queueCapacity;
+  serve::Server server(options);
+  gServeServer = &server;
+  struct sigaction action = {};
+  action.sa_handler = memxCliOnSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  server.run(std::cin, std::cout);
+  gServeServer = nullptr;
+  return 0;
+}
+
+int cmdRequest(const Args& args) {
+  // One-shot client mode: process a single request line in-process and
+  // print the response — the protocol without the long-running server.
+  serve::Server server;
+  const std::string response = server.handleLine(args.positional.at(1));
+  std::cout << response << '\n';
+  // Exit nonzero on an error response so shell pipelines can branch.
+  return response.find("\"ok\":true") != std::string::npos ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
   const Args args = parseArgs(argc, argv);
   if (args.positional.empty()) {
     std::cerr << "usage: memx_cli "
                  "<explore|simulate|layout|icache|workingset|spm|"
-                 "legality|kernels> "
+                 "legality|kernels|serve|request> "
                  "...\n";
     return 2;
   }
   const std::string& cmd = args.positional.front();
+  if (cmd == "serve") return cmdServe(args);
   if (cmd == "kernels") {
-    for (const std::string& k : kKernelNames) std::cout << k << '\n';
+    for (const std::string& k : kernelRegistryNames()) std::cout << k << '\n';
     return 0;
   }
   // explore/simulate take their input from --trace instead of a
@@ -441,6 +457,7 @@ int run(int argc, char** argv) {
   if (args.positional.size() < 2 && !traceDriven) {
     throw std::invalid_argument(cmd + " requires an argument");
   }
+  if (cmd == "request") return cmdRequest(args);
   if (cmd == "explore") return cmdExplore(args);
   if (cmd == "spm") return cmdSpm(args);
   if (cmd == "legality") return cmdLegality(args);

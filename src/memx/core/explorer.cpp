@@ -12,6 +12,7 @@
 #include "memx/stackdist/stackdist_sim.hpp"
 #include "memx/util/assert.hpp"
 #include "memx/util/bits.hpp"
+#include "memx/util/numeric_io.hpp"
 #include "memx/util/pow2_range.hpp"
 #include "memx/xform/tiling.hpp"
 
@@ -37,6 +38,80 @@ SweepBackend parseSweepBackend(const std::string& name) {
                           "\" (expected auto, multisim or stackdist)");
 }
 
+std::string canonicalRangesKey(const ExploreRanges& r) {
+  std::string key;
+  key.reserve(128);
+  const auto u = [&](const char* name, std::uint64_t v) {
+    key += name;
+    key += '=';
+    key += std::to_string(v);
+    key += ';';
+  };
+  u("onchip", r.onChipBytes);
+  u("minT", r.minCacheBytes);
+  u("maxT", r.maxCacheBytes);
+  u("minL", r.minLineBytes);
+  u("maxL", r.maxLineBytes);
+  u("maxS", r.maxAssociativity);
+  u("maxB", r.maxTiling);
+  u("sweepS", r.sweepAssociativity ? 1 : 0);
+  u("sweepB", r.sweepTiling ? 1 : 0);
+  return key;
+}
+
+std::string canonicalModelKey(const ExploreOptions& options) {
+  const EnergyParams& e = options.energy;
+  const TimingParams& t = options.timing;
+  std::string key;
+  key.reserve(256);
+  const auto u = [&](const char* name, std::uint64_t v) {
+    key += name;
+    key += '=';
+    key += std::to_string(v);
+    key += ';';
+  };
+  const auto d = [&](const char* name, double v) {
+    key += name;
+    key += '=';
+    key += formatDouble17(v);
+    key += ';';
+  };
+  d("alpha", e.alphaPj);
+  d("beta", e.betaPj);
+  d("gamma", e.gammaPj);
+  d("dact", e.dataActivity);
+  d("em", e.emNj);
+  u("mainbpa", e.mainBytesPerAccess);
+  u("tag", e.includeTagArray ? 1 : 0);
+  u("abits", e.addressBits);
+  d("leak", e.leakagePjPerBytePerCycle);
+  key += "hit=";
+  for (const double v : t.hitCyclesByAssoc) key += formatDouble17(v) + ",";
+  key += ";miss=";
+  for (const double v : t.missCyclesByLine) key += formatDouble17(v) + ",";
+  key += ';';
+  u("layout", options.optimizeLayout ? 1 : 0);
+  u("bus", options.measureBusActivity ? 1 : 0);
+  u("wenergy", options.includeWriteEnergy ? 1 : 0);
+  key += "wp=" + toString(options.writePolicy) + ";";
+  key += "repl=" + toString(options.replacement) + ";";
+  // Auto collapses to its resolution so an Auto run and the equivalent
+  // forced run share cache entries (their points are bit-identical by
+  // the golden forced-backend equality gates).
+  SweepBackend backend = options.backend;
+  if (backend == SweepBackend::Auto) {
+    backend = options.replacement == ReplacementPolicy::LRU
+                  ? SweepBackend::StackDist
+                  : SweepBackend::MultiSim;
+  }
+  key += "backend=" + toString(backend);
+  return key;
+}
+
+std::string canonicalExploreKey(const ExploreOptions& options) {
+  return canonicalRangesKey(options.ranges) + canonicalModelKey(options);
+}
+
 void ExploreRanges::validate() const {
   MEMX_EXPECTS(isPow2(onChipBytes) && isPow2(minCacheBytes) &&
                    isPow2(maxCacheBytes) && isPow2(minLineBytes) &&
@@ -49,6 +124,43 @@ void ExploreRanges::validate() const {
                "the cycle model tabulates line sizes from 4 bytes");
 }
 
+ExplorationResult::ExplorationResult(const ExplorationResult& other)
+    : workload(other.workload), points(other.points) {}
+
+ExplorationResult& ExplorationResult::operator=(
+    const ExplorationResult& other) {
+  if (this != &other) {
+    workload = other.workload;
+    points = other.points;
+    const std::unique_lock lock(indexMutex_);
+    index_.clear();
+    indexBuilt_ = false;
+  }
+  return *this;
+}
+
+ExplorationResult::ExplorationResult(ExplorationResult&& other) noexcept
+    : workload(std::move(other.workload)),
+      points(std::move(other.points)) {
+  // The moved-from index would alias positions in the now-empty points
+  // vector; drop it so a stray find() on the source rebuilds cleanly.
+  other.index_.clear();
+  other.indexBuilt_ = false;
+}
+
+ExplorationResult& ExplorationResult::operator=(
+    ExplorationResult&& other) noexcept {
+  if (this != &other) {
+    workload = std::move(other.workload);
+    points = std::move(other.points);
+    index_.clear();
+    indexBuilt_ = false;
+    other.index_.clear();
+    other.indexBuilt_ = false;
+  }
+  return *this;
+}
+
 const DesignPoint& ExplorationResult::at(const ConfigKey& key) const {
   const DesignPoint* p = find(key);
   MEMX_EXPECTS(p != nullptr,
@@ -57,33 +169,75 @@ const DesignPoint& ExplorationResult::at(const ConfigKey& key) const {
 }
 
 const DesignPoint* ExplorationResult::find(const ConfigKey& key) const {
-  if (!indexBuilt_ || indexedGeneration_ != generation_ ||
-      index_.size() > points.size()) {
-    rebuildIndex();
-  } else if (index_.size() < points.size()) {
-    appendToIndex();
+  {
+    // Fast path: the index is current, so concurrent lookups share the
+    // lock and never touch mutable state.
+    const std::shared_lock lock(indexMutex_);
+    if (indexCurrentLocked()) {
+      const Lookup r = lookupLocked(key);
+      if (!r.stale) return r.point;
+    }
   }
-  const auto lookup = [&]() {
-    return std::lower_bound(
-        index_.begin(), index_.end(), key,
-        [](const std::pair<ConfigKey, std::size_t>& entry,
-           const ConfigKey& k) { return entry.first < k; });
-  };
-  auto it = lookup();
-  if (it == index_.end() || it->first != key) return nullptr;
+  const std::unique_lock lock(indexMutex_);
+  if (!indexCurrentLocked()) refreshIndexLocked();
+  Lookup r = lookupLocked(key);
   // Last line of defense against an in-place key rewrite that skipped
   // invalidateIndex(): the entry must still describe its point. A
   // mismatch means the index is stale — rebuild once and retry rather
   // than returning a point whose key is not `key`.
-  if (points[it->second].key != key) {
-    rebuildIndex();
-    it = lookup();
-    if (it == index_.end() || it->first != key) return nullptr;
+  if (r.stale) {
+    rebuildIndexLocked();
+    r = lookupLocked(key);
   }
-  return &points[it->second];
+  return r.point;
 }
 
-void ExplorationResult::rebuildIndex() const {
+void ExplorationResult::buildIndex() const {
+  const std::unique_lock lock(indexMutex_);
+  if (!indexCurrentLocked()) refreshIndexLocked();
+}
+
+void ExplorationResult::invalidateIndex() noexcept {
+  const std::unique_lock lock(indexMutex_);
+  ++generation_;
+}
+
+std::uint64_t ExplorationResult::indexRebuilds() const noexcept {
+  const std::shared_lock lock(indexMutex_);
+  return indexRebuilds_;
+}
+
+std::uint64_t ExplorationResult::indexAppends() const noexcept {
+  const std::shared_lock lock(indexMutex_);
+  return indexAppends_;
+}
+
+bool ExplorationResult::indexCurrentLocked() const {
+  return indexBuilt_ && indexedGeneration_ == generation_ &&
+         index_.size() == points.size();
+}
+
+void ExplorationResult::refreshIndexLocked() const {
+  if (indexBuilt_ && indexedGeneration_ == generation_ &&
+      index_.size() < points.size()) {
+    appendToIndexLocked();
+  } else {
+    rebuildIndexLocked();
+  }
+}
+
+ExplorationResult::Lookup ExplorationResult::lookupLocked(
+    const ConfigKey& key) const {
+  const auto it = std::lower_bound(
+      index_.begin(), index_.end(), key,
+      [](const std::pair<ConfigKey, std::size_t>& entry,
+         const ConfigKey& k) { return entry.first < k; });
+  if (it == index_.end() || it->first != key) return {nullptr, false};
+  if (points[it->second].key != key) return {nullptr, true};
+  return {&points[it->second], false};
+}
+
+void ExplorationResult::rebuildIndexLocked() const {
   index_.clear();
   index_.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -95,7 +249,7 @@ void ExplorationResult::rebuildIndex() const {
   ++indexRebuilds_;
 }
 
-void ExplorationResult::appendToIndex() const {
+void ExplorationResult::appendToIndexLocked() const {
   const std::size_t start = index_.size();
   index_.reserve(points.size());
   for (std::size_t i = start; i < points.size(); ++i) {

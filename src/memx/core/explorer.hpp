@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -110,10 +111,49 @@ struct ExploreOptions {
   SweepBackend backend = SweepBackend::Auto;
 };
 
+/// Stable text form of the sweep bounds alone. Part of
+/// canonicalExploreKey; exposed separately so the serve result store
+/// can strip the bounds off a key and recognize covering-range cache
+/// hits (a narrower request served from a wider cached sweep).
+[[nodiscard]] std::string canonicalRangesKey(const ExploreRanges& ranges);
+
+/// Stable text form of everything in `options` *except* the ranges:
+/// energy and timing coefficients, layout/bus/write-energy flags,
+/// policies, and the *resolved* backend (Auto collapses to what it
+/// would pick, so an Auto run and the equivalent forced run share one
+/// key). Equal model keys mean any sweep key visited by both runs gets
+/// the bit-identical point.
+[[nodiscard]] std::string canonicalModelKey(const ExploreOptions& options);
+
+/// canonicalRangesKey + canonicalModelKey: everything in `options` that
+/// determines a sweep's numerical output. Two option sets with equal
+/// keys produce bit-identical results for the same workload — this is
+/// the cache-key half of the serve result store. Locale-independent
+/// (doubles via %.17g-equivalent round-trip formatting).
+[[nodiscard]] std::string canonicalExploreKey(const ExploreOptions& options);
+
 /// All evaluated points for one workload.
+///
+/// Thread-safety: concurrent find()/at()/buildIndex() calls on a shared
+/// result are safe — the lazily built lookup index is guarded by a
+/// shared mutex, so logically-const reads never race on its
+/// construction (the serve result store hands one cached result to many
+/// workers at once). Mutating `workload`/`points` (or calling
+/// invalidateIndex()) still requires external synchronization, like any
+/// non-const use.
 struct ExplorationResult {
   std::string workload;
   std::vector<DesignPoint> points;
+
+  ExplorationResult() = default;
+  /// Copies and moves carry the data, not the index: the destination
+  /// rebuilds lazily on first find(). (The index is position-relative,
+  /// and dropping it keeps these members safe against concurrent
+  /// lookups on the source.)
+  ExplorationResult(const ExplorationResult& other);
+  ExplorationResult& operator=(const ExplorationResult& other);
+  ExplorationResult(ExplorationResult&& other) noexcept;
+  ExplorationResult& operator=(ExplorationResult&& other) noexcept;
 
   /// Point with the given key; throws when the sweep did not visit it.
   [[nodiscard]] const DesignPoint& at(const ConfigKey& key) const;
@@ -130,28 +170,42 @@ struct ExplorationResult {
   /// silently returning the wrong point).
   [[nodiscard]] const DesignPoint* find(const ConfigKey& key) const;
 
+  /// Precompute the lookup index now (idempotent). Publishers that
+  /// share a result across threads call this once at publish time so
+  /// every subsequent concurrent find() takes only the shared lock.
+  void buildIndex() const;
+
   /// Declare the index stale after mutating `points` in place (for
   /// example rewriting a point's key). Size changes are picked up
   /// automatically; same-size mutations need this call so the next
   /// find() rebuilds instead of consulting stale entries.
-  void invalidateIndex() noexcept { ++generation_; }
+  void invalidateIndex() noexcept;
 
   /// Full index rebuilds performed so far (diagnostic: a growing
   /// archive should append, not rebuild — see the regression test).
-  [[nodiscard]] std::uint64_t indexRebuilds() const noexcept {
-    return indexRebuilds_;
-  }
+  [[nodiscard]] std::uint64_t indexRebuilds() const noexcept;
   /// Incremental merges of appended points into the index.
-  [[nodiscard]] std::uint64_t indexAppends() const noexcept {
-    return indexAppends_;
-  }
+  [[nodiscard]] std::uint64_t indexAppends() const noexcept;
 
 private:
-  void rebuildIndex() const;
+  struct Lookup {
+    const DesignPoint* point = nullptr;
+    bool stale = false;  ///< an indexed entry no longer matches its point
+  };
+
+  /// True when the index mirrors `points` at the current generation.
+  [[nodiscard]] bool indexCurrentLocked() const;
+  /// Rebuild or append as appropriate; requires the unique lock.
+  void refreshIndexLocked() const;
+  void rebuildIndexLocked() const;
   /// Index only the points appended since the index was built and
   /// merge them in (requires a current index that is a prefix view).
-  void appendToIndex() const;
+  void appendToIndexLocked() const;
+  [[nodiscard]] Lookup lookupLocked(const ConfigKey& key) const;
 
+  /// Guards every index_* member below. find() takes it shared on the
+  /// built-index fast path and exclusive to (re)build.
+  mutable std::shared_mutex indexMutex_;
   /// (key, position) pairs sorted lexicographically; duplicate keys keep
   /// their points order so find() returns the first occurrence.
   mutable std::vector<std::pair<ConfigKey, std::size_t>> index_;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "memx/util/numeric_io.hpp"
+
 namespace memx::obs {
 
 namespace {
@@ -117,6 +119,9 @@ std::string RunReport::summary() const {
 }
 
 void RunReport::writeChromeTrace(std::ostream& os) const {
+  // Both JSON sinks stream doubles: the classic locale keeps the output
+  // RFC-8259 parseable when the daemon runs under a ','-decimal locale.
+  const ClassicLocaleGuard locale(os);
   os << "{\"traceEvents\":[";
   bool first = true;
   auto sep = [&] {
@@ -141,6 +146,7 @@ void RunReport::writeChromeTrace(std::ostream& os) const {
 }
 
 void RunReport::writeJson(std::ostream& os) const {
+  const ClassicLocaleGuard locale(os);
   os << "{\"wall_seconds\":" << wallSec << ",\"phases\":[";
   for (std::size_t i = 0; i < phases.size(); ++i) {
     const PhaseStat& p = phases[i];

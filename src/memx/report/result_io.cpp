@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "memx/util/assert.hpp"
+#include "memx/util/numeric_io.hpp"
 
 namespace memx {
 
@@ -82,44 +83,23 @@ std::vector<std::string> splitCsvLine(const std::string& line,
 /// they are hard errors with the row and column named.
 std::uint64_t parseUnsigned(const std::string& cell, std::uint64_t max,
                             std::size_t lineNo, const char* column) {
-  const std::string where = "exploration-CSV row " +
-                            std::to_string(lineNo) + " column " + column;
-  MEMX_EXPECTS(!cell.empty() &&
-                   cell.find_first_not_of("0123456789") == std::string::npos,
-               where + ": not an unsigned integer");
-  // <= 20 digits always fits the stoull parse; reject earlier overflows.
-  try {
-    std::size_t pos = 0;
-    const unsigned long long v = std::stoull(cell, &pos);
-    MEMX_EXPECTS(pos == cell.size() && v <= max,
-                 where + ": value out of range");
-    return v;
-  } catch (const ContractViolation&) {
-    throw;
-  } catch (const std::exception&) {
-    detail::throwContract("precondition", "stoull", __FILE__, __LINE__,
-                          where + ": value out of range");
-  }
+  const std::optional<std::uint64_t> v = parseUnsignedText(cell, max);
+  MEMX_EXPECTS(v.has_value(),
+               "exploration-CSV row " + std::to_string(lineNo) +
+                   " column " + column +
+                   ": not an unsigned integer in range");
+  return *v;
 }
 
-/// Strict double parse: fully consumed and finite ("1e999" and "nan"
-/// are rejected, not absorbed).
+/// Strict double parse: fully consumed, finite, and locale-independent
+/// ("1e999", "nan" and a de_DE-style "3,14" are rejected, not absorbed).
 double parseDouble(const std::string& cell, std::size_t lineNo,
                    const char* column) {
-  const std::string where = "exploration-CSV row " +
-                            std::to_string(lineNo) + " column " + column;
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(cell, &pos);
-    MEMX_EXPECTS(pos == cell.size() && std::isfinite(v),
-                 where + ": not a finite number");
-    return v;
-  } catch (const ContractViolation&) {
-    throw;
-  } catch (const std::exception&) {
-    detail::throwContract("precondition", "stod", __FILE__, __LINE__,
-                          where + ": not a finite number");
-  }
+  const std::optional<double> v = parseDoubleText(cell);
+  MEMX_EXPECTS(v.has_value(), "exploration-CSV row " +
+                                  std::to_string(lineNo) + " column " +
+                                  column + ": not a finite number");
+  return *v;
 }
 
 /// Escape the few JSON-special characters a workload name could contain.
@@ -135,7 +115,9 @@ std::string jsonEscape(const std::string& s) {
 }  // namespace
 
 void writeResultCsv(std::ostream& os, const ExplorationResult& result) {
-  // Full round-trip fidelity for the floating-point fields.
+  // Full round-trip fidelity for the floating-point fields; the classic
+  // locale pins '.' decimals and no grouping under any global locale.
+  const ClassicLocaleGuard locale(os);
   os << std::setprecision(17);
   os << kHeader << '\n';
   for (const DesignPoint& p : result.points) {
@@ -181,6 +163,7 @@ ExplorationResult readResultCsv(std::istream& is) {
 }
 
 void writeResultJson(std::ostream& os, const ExplorationResult& result) {
+  const ClassicLocaleGuard locale(os);
   os << std::setprecision(17);
   os << "{\"workload\": \"" << jsonEscape(result.workload)
      << "\", \"points\": [";

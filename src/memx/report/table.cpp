@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iomanip>
+#include <locale>
 #include <sstream>
 
 #include "memx/util/assert.hpp"
@@ -75,7 +76,11 @@ void Table::writeCsv(std::ostream& os) const {
 }
 
 std::string fmtFixed(double v, int decimals) {
+  // Imbued: the formatted tables and CSVs these feed are diffed and
+  // parsed by scripts, so the decimal point must be '.' under any
+  // global locale.
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(decimals) << v;
   return os.str();
 }
@@ -88,6 +93,7 @@ std::string fmtSig3(double v) {
   const double scale = std::pow(10.0, exponent - 2);
   const double rounded = std::round(v / scale) * scale;
   std::ostringstream os;
+  os.imbue(std::locale::classic());
   os << std::fixed << std::setprecision(decimals) << rounded;
   std::string s = os.str();
   // Trim trailing zeros after a decimal point ("0.9690" -> "0.969").

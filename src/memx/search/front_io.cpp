@@ -1,14 +1,13 @@
 #include "memx/search/front_io.hpp"
 
 #include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "memx/cachesim/cache_config.hpp"
+#include "memx/util/numeric_io.hpp"
 
 namespace memx::search {
 
@@ -42,31 +41,29 @@ std::vector<std::string> splitFields(const std::string& line) {
 
 std::uint32_t parseU32(const std::string& field, std::size_t lineNo,
                        const char* column) {
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(field.c_str(), &end, 10);
-  if (field.empty() || *end != '\0' || value > 0xffffffffull) {
+  const std::optional<std::uint64_t> value =
+      parseUnsignedText(field, 0xffffffffull);
+  if (!value) {
     fail(lineNo, std::string("column '") + column +
                      "' is not an unsigned integer: '" + field + "'");
   }
-  return static_cast<std::uint32_t>(value);
+  return static_cast<std::uint32_t>(*value);
 }
 
 double parseF64(const std::string& field, std::size_t lineNo,
                 const char* column) {
-  char* end = nullptr;
-  const double value = std::strtod(field.c_str(), &end);
-  if (field.empty() || *end != '\0') {
+  // from_chars is locale-independent: a front written on one machine
+  // parses on any other, and a hostile LC_NUMERIC cannot make the
+  // reader accept "3,14" or reject "3.14".
+  const std::optional<double> value = parseDoubleText(field);
+  if (!value) {
     fail(lineNo, std::string("column '") + column +
                      "' is not a number: '" + field + "'");
   }
-  return value;
+  return *value;
 }
 
-std::string f64(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+std::string f64(double v) { return formatDouble17(v); }
 
 }  // namespace
 
@@ -98,6 +95,9 @@ FrontRow toFrontRow(const std::string& workload, const SearchPoint& point) {
 }
 
 void writeFrontCsv(std::ostream& out, const std::vector<FrontRow>& rows) {
+  // Integer columns stream through num_put: pin the classic locale so a
+  // grouping-happy global locale cannot emit "1.024" cache sizes.
+  const ClassicLocaleGuard locale(out);
   out << frontCsvHeader() << '\n';
   for (const FrontRow& r : rows) {
     out << r.workload << ',' << r.cacheBytes << ',' << r.lineBytes << ','

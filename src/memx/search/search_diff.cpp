@@ -1,11 +1,11 @@
 #include "memx/search/search_diff.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <random>
 #include <utility>
 
 #include "memx/check/random_gen.hpp"
+#include "memx/util/numeric_io.hpp"
 #include "memx/search/dominance.hpp"
 #include "memx/search/evaluator.hpp"
 #include "memx/search/nsga.hpp"
@@ -19,11 +19,7 @@ namespace {
 /// gene (policies, layout, L2) in one case.
 constexpr std::uint64_t kMaxDiffSpace = 512;
 
-std::string f64(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
+std::string f64(double v) { return formatDouble17(v); }
 
 }  // namespace
 

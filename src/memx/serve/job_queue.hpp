@@ -1,0 +1,90 @@
+// Bounded MPMC queue for serve jobs.
+//
+// The reader thread pushes parsed requests, the worker pool pops them.
+// The bound is the server's backpressure mechanism: when workers fall
+// behind, push() blocks the reader, which stops consuming the input
+// stream, which pushes the stall back to the client instead of growing
+// an unbounded backlog. close() wakes everyone; remaining items stay
+// poppable so a draining server can still answer queued requests (with
+// a shutdown error or a real result, the server decides).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "memx/util/assert.hpp"
+
+namespace memx::serve {
+
+template <typename T>
+class JobQueue {
+public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {
+    MEMX_EXPECTS(capacity > 0, "job queue capacity must be positive");
+  }
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  /// Block until there is room (backpressure), then enqueue. Returns
+  /// false without enqueuing when the queue was closed first.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    notFull_.wait(lock,
+                  [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed and
+  /// empty. Returns false only in the latter case. A closed queue
+  /// still delivers its remaining items.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    notEmpty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    notFull_.notify_one();
+    return true;
+  }
+
+  /// Stop accepting pushes and wake every waiter. Idempotent.
+  void close() {
+    {
+      const std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notFull_;
+  std::condition_variable notEmpty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace memx::serve

@@ -1,0 +1,78 @@
+// Serve wire protocol: newline-delimited JSON requests and responses.
+//
+// One request per line, one response line per request, in completion
+// (not submission) order; the client correlates by the echoed "id".
+// See docs/SERVING.md for the field reference. Parsing is strict:
+// unknown fields, wrong types, and out-of-domain values are rejected
+// with a diagnostic naming the field — a typo'd option must fail loudly
+// rather than silently explore the wrong space.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "memx/core/explorer.hpp"
+#include "memx/search/nsga.hpp"
+#include "memx/serve/json.hpp"
+#include "memx/trace/trace_source.hpp"
+
+namespace memx::serve {
+
+/// Thrown on any malformed or invalid request; the message becomes the
+/// "error" field of the error response.
+class ServeError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class RequestOp : std::uint8_t {
+  Explore,     ///< kernel sweep via Explorer::explore
+  Search,      ///< NSGA-II front via Explorer::searchPareto
+  Trace,       ///< fixed-trace sweep via exploreTrace
+  Stats,       ///< store/server telemetry snapshot
+  Invalidate,  ///< drop every cached result (model changed)
+  Ping,        ///< liveness check
+  Shutdown,    ///< graceful drain: finish in-flight, stop reading
+};
+
+[[nodiscard]] std::string_view toString(RequestOp op) noexcept;
+/// Parse "explore"/"search"/"trace"/"stats"/"invalidate"/"ping"/
+/// "shutdown"; throws ServeError on anything else.
+[[nodiscard]] RequestOp parseRequestOp(const std::string& name);
+
+/// Which scalar the response's "selected" point minimizes.
+enum class SelectionMetric : std::uint8_t { MinEnergy, MinCycles, MinEdp };
+
+/// One parsed request.
+struct Request {
+  JsonValue id;  ///< echoed verbatim in the response (null when absent)
+  RequestOp op = RequestOp::Ping;
+  std::string workload;      ///< kernel name or .mx path (explore/search)
+  std::string kernelSource;  ///< inline kernel text, alternative to workload
+  std::string tracePath;     ///< .din[.gz] path (trace op)
+  TraceWindow window;        ///< trace op only
+  ExploreOptions options;
+  SelectionMetric metric = SelectionMetric::MinEnergy;
+  std::optional<double> cycleBound;
+  std::optional<double> energyBound;
+  search::SearchOptions search;  ///< search op only
+  bool jointSpace = false;       ///< search op: widen to the joint space
+  bool includePoints = false;    ///< embed the full result CSV
+  bool includeReport = false;    ///< embed the per-request RunReport JSON
+};
+
+/// Parse and validate one request object. Throws ServeError (and lets
+/// JsonError from malformed JSON propagate from JsonValue::parse — the
+/// server folds both into error responses).
+[[nodiscard]] Request parseRequest(const JsonValue& root);
+
+/// FNV-1a over `text`; the short display form of canonical cache keys.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view text) noexcept;
+
+/// 16-hex-digit form of fnv1a64 (the response's "cache_key").
+[[nodiscard]] std::string cacheKeyDigest(std::string_view canonicalKey);
+
+}  // namespace memx::serve

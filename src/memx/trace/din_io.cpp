@@ -5,10 +5,14 @@
 #include <sstream>
 
 #include "memx/util/assert.hpp"
+#include "memx/util/numeric_io.hpp"
 
 namespace memx {
 
 void writeDin(std::ostream& os, const Trace& trace) {
+  // Streamed integers obey the locale's grouping: pin the classic
+  // locale so a grouping-happy global locale cannot corrupt addresses.
+  const ClassicLocaleGuard locale(os);
   for (const MemRef& ref : trace) {
     int label = static_cast<int>(DinLabel::Read);
     switch (ref.type) {

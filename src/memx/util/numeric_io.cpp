@@ -1,0 +1,45 @@
+#include "memx/util/numeric_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace memx {
+
+std::optional<double> parseDoubleText(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  if (!std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parseUnsignedText(std::string_view text,
+                                               std::uint64_t max) noexcept {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string_view::npos) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || value > max) return std::nullopt;
+  return value;
+}
+
+std::string formatDouble17(double v) {
+  // An imbued ostringstream reproduces C-locale "%.17g" byte for byte
+  // (general float format at precision 17, trailing zeros trimmed,
+  // two-digit exponents) while staying immune to the global locale.
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace memx

@@ -1,0 +1,55 @@
+// Locale-independent numeric text I/O.
+//
+// Every CSV/JSON surface in memx is machine-read: a daemon started under
+// de_DE.UTF-8 must neither emit "3,14" nor reject "3.14". Parsing goes
+// through std::from_chars (locale-blind by specification) and fails
+// closed: the full field must be consumed and doubles must be finite.
+// Formatting goes through streams imbued with std::locale::classic(), so
+// the byte output matches the C-locale "%.17g" convention the golden
+// corpus and the benchmark JSON files were recorded with, regardless of
+// the process-global locale.
+#pragma once
+
+#include <cstdint>
+#include <ios>
+#include <locale>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace memx {
+
+/// Strict double parse: the whole field, finite, locale-independent.
+/// Rejects empty fields, leading whitespace/'+', trailing garbage,
+/// overflow ("1e999"), underflow, "nan"/"inf" and hex floats.
+[[nodiscard]] std::optional<double> parseDoubleText(
+    std::string_view text) noexcept;
+
+/// Strict unsigned parse: decimal digits only, fully consumed, <= max.
+[[nodiscard]] std::optional<std::uint64_t> parseUnsignedText(
+    std::string_view text, std::uint64_t max) noexcept;
+
+/// `v` formatted like C-locale "%.17g": shortest-in-style general form
+/// at 17 significant digits, '.' decimal point, round-trip exact.
+[[nodiscard]] std::string formatDouble17(double v);
+
+/// Imbue std::locale::classic() on a stream for the current scope and
+/// restore the previous locale on destruction. Wrap every writer that
+/// streams doubles into a caller-supplied std::ostream with this so a
+/// hostile global locale cannot leak group separators or ','-decimals
+/// into machine-read output (the caller's locale choice is restored).
+class ClassicLocaleGuard {
+public:
+  explicit ClassicLocaleGuard(std::ios_base& stream)
+      : stream_(stream), saved_(stream.imbue(std::locale::classic())) {}
+  ~ClassicLocaleGuard() { stream_.imbue(saved_); }
+
+  ClassicLocaleGuard(const ClassicLocaleGuard&) = delete;
+  ClassicLocaleGuard& operator=(const ClassicLocaleGuard&) = delete;
+
+private:
+  std::ios_base& stream_;
+  std::locale saved_;
+};
+
+}  // namespace memx

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "memx/core/parallel_explorer.hpp"
 #include "memx/kernels/benchmarks.hpp"
 #include "memx/util/assert.hpp"
@@ -88,6 +92,71 @@ TEST(ParallelExplorer, DefaultThreadCount) {
   const ExplorationResult r =
       exploreParallel(matrixAddKernel(8, 1), smallSweep(), 0);
   EXPECT_FALSE(r.points.empty());
+}
+
+// Regression: ExplorationResult::find lazily builds its sorted index
+// through a logically-const call. Before the index was put behind a
+// shared mutex, N threads doing their first find() on a shared result
+// raced on that construction (the serve result store hands one cached
+// result to many workers at once). Run under TSan this test is the
+// tripwire; under any build it verifies concurrent lookups stay
+// correct.
+TEST(ExplorationResultConcurrency, ConcurrentFindIsSafeAndCorrect) {
+  const Kernel k = dequantKernel();
+  const ExploreOptions o = smallSweep();
+  const Explorer explorer(o);
+  const ExplorationResult result = explorer.explore(k);
+  const std::vector<ConfigKey> keys = explorer.sweepKeys();
+  ASSERT_EQ(keys.size(), result.points.size());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Stagger starting offsets so threads collide on different keys
+      // while the index is still being built.
+      for (std::size_t round = 0; round < 50; ++round) {
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          const ConfigKey& key =
+              keys[(i + static_cast<std::size_t>(t) * 7) % keys.size()];
+          const DesignPoint* p = result.find(key);
+          if (p == nullptr || p->key != key) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // All that concurrency amounted to exactly one index construction.
+  EXPECT_EQ(result.indexRebuilds(), 1u);
+  EXPECT_EQ(result.indexAppends(), 0u);
+  const ConfigKey missing{3, 3, 3, 3};
+  EXPECT_EQ(result.find(missing), nullptr);
+}
+
+// buildIndex() is the publish-time precompute: afterwards every
+// concurrent find() takes only the shared lock, and copies drop the
+// index rather than share it.
+TEST(ExplorationResultConcurrency, BuildIndexIsIdempotentAndCopiesDropIt) {
+  const Kernel k = dequantKernel();
+  const Explorer explorer(smallSweep());
+  const ExplorationResult result = explorer.explore(k);
+  result.buildIndex();
+  result.buildIndex();
+  EXPECT_EQ(result.indexRebuilds(), 1u);
+  ASSERT_FALSE(result.points.empty());
+  EXPECT_EQ(result.find(result.points.front().key),
+            &result.points.front());
+  EXPECT_EQ(result.indexRebuilds(), 1u);
+
+  const ExplorationResult copy(result);
+  EXPECT_EQ(copy.indexRebuilds(), 0u);  // fresh index state
+  EXPECT_EQ(copy.find(copy.points.front().key), &copy.points.front());
+  EXPECT_EQ(copy.indexRebuilds(), 1u);
 }
 
 }  // namespace
