@@ -9,12 +9,16 @@
 // backend applies; budget: >= 2x points/sec), once on the paper's
 // read-only energy metric and once with write-back + write energy on
 // (exact writebacks via dirty-stack accounting; same >= 2x budget,
-// and Auto must resolve that sweep to StackDist). Asserts every path
-// produces bit-identical DesignPoint vectors, then writes
+// and Auto must resolve that sweep to StackDist), plus the same
+// comparison on FIFO and tree-PLRU sweeps (served by the single-pass
+// policy-grid engine; same bit-identity requirement and >= 2x
+// points/sec budget, and Auto must resolve both to StackDist). Asserts
+// every path produces bit-identical DesignPoint vectors, then writes
 // BENCH_sweep_speed.json with points/sec of each path and backend, the
-// speedup, the sink overhead, and the full RunReport, and
-// BENCH_sweep_trace.json with the chrome://tracing worker timeline.
-// Exits nonzero on any mismatch or blown budget.
+// speedup (including fifo_*/plru_* fields for the grid engine), the
+// sink overhead, and the full RunReport, and BENCH_sweep_trace.json
+// with the chrome://tracing worker timeline. Exits nonzero on any
+// mismatch or blown budget.
 //
 // This is a plain main (no google-benchmark): the determinism check is
 // the point, and each path is simply timed best-of-kReps (every rep does
@@ -173,6 +177,39 @@ int main() {
   const Explorer wbStackGrid(wbOptions);
   (void)wbStackGrid.planSweep(kernel, keys);
 
+  // Policy-grid comparison: the same sweep under FIFO and tree-PLRU
+  // replacement, where StackDist means the single-pass PolicyGridProfile
+  // engine instead of the Hill-Smith profile. Auto must resolve both to
+  // the analytic backend, and the grid must beat per-config simulation
+  // by the same >= 2x floor while staying bit-identical.
+  memx::ExploreOptions fifoOptions = memx::bench::paperOptions();
+  fifoOptions.replacement = memx::ReplacementPolicy::FIFO;
+  memx::ExploreOptions plruOptions = memx::bench::paperOptions();
+  plruOptions.replacement = memx::ReplacementPolicy::TreePLRU;
+  const bool gridAutoIsStackDist =
+      Explorer(fifoOptions).resolvedBackend() ==
+          memx::SweepBackend::StackDist &&
+      Explorer(plruOptions).resolvedBackend() ==
+          memx::SweepBackend::StackDist;
+  if (!gridAutoIsStackDist) {
+    std::cerr << "MISMATCH: Auto backend did not resolve to StackDist for "
+                 "the FIFO/PLRU sweeps\n";
+  }
+
+  fifoOptions.backend = memx::SweepBackend::MultiSim;
+  const Explorer fifoSimGrid(fifoOptions);
+  (void)fifoSimGrid.planSweep(kernel, keys);
+  fifoOptions.backend = memx::SweepBackend::StackDist;
+  const Explorer fifoStackGrid(fifoOptions);
+  (void)fifoStackGrid.planSweep(kernel, keys);
+
+  plruOptions.backend = memx::SweepBackend::MultiSim;
+  const Explorer plruSimGrid(plruOptions);
+  (void)plruSimGrid.planSweep(kernel, keys);
+  plruOptions.backend = memx::SweepBackend::StackDist;
+  const Explorer plruStackGrid(plruOptions);
+  (void)plruStackGrid.planSweep(kernel, keys);
+
   // The four backend timings are interleaved inside one rep loop: each
   // speedup pairs two ~10 ms measurements taken back to back, so both
   // sides of a ratio see the same background-load conditions, and the
@@ -190,15 +227,27 @@ int main() {
     return sec;
   };
   double stackSec = 1e30, wbSimSec = 1e30, wbStackSec = 1e30;
+  double fifoSimSec = 1e30, fifoStackSec = 1e30;
+  double plruSimSec = 1e30, plruStackSec = 1e30;
   std::vector<DesignPoint> stackPts, wbSimPts, wbStackPts;
-  std::vector<double> stackRatios, wbRatios;
+  std::vector<DesignPoint> fifoSimPts, fifoStackPts, plruSimPts,
+      plruStackPts;
+  std::vector<double> stackRatios, wbRatios, fifoRatios, plruRatios;
   for (int rep = 0; rep < kReps; ++rep) {
     const double sharedT = timeExplore(grid, sharedSec, sharedPts);
     const double stackT = timeExplore(stackGrid, stackSec, stackPts);
     const double wbSimT = timeExplore(wbSimGrid, wbSimSec, wbSimPts);
     const double wbStackT = timeExplore(wbStackGrid, wbStackSec, wbStackPts);
+    const double fifoSimT = timeExplore(fifoSimGrid, fifoSimSec, fifoSimPts);
+    const double fifoStackT =
+        timeExplore(fifoStackGrid, fifoStackSec, fifoStackPts);
+    const double plruSimT = timeExplore(plruSimGrid, plruSimSec, plruSimPts);
+    const double plruStackT =
+        timeExplore(plruStackGrid, plruStackSec, plruStackPts);
     stackRatios.push_back(sharedT / stackT);
     wbRatios.push_back(wbSimT / wbStackT);
+    fifoRatios.push_back(fifoSimT / fifoStackT);
+    plruRatios.push_back(plruSimT / plruStackT);
   }
 
   const bool ok = identical(baseline, sharedPts, "explore") &&
@@ -207,7 +256,9 @@ int main() {
                   identical(baseline, stackPts, "explore+stackdist") &&
                   identical(wbSimPts, wbStackPts,
                             "writeback+write-energy stackdist") &&
-                  wbAutoIsStackDist;
+                  identical(fifoSimPts, fifoStackPts, "fifo policy grid") &&
+                  identical(plruSimPts, plruStackPts, "plru policy grid") &&
+                  wbAutoIsStackDist && gridAutoIsStackDist;
   const double n = static_cast<double>(keys.size());
   const double speedup = baseSec / sharedSec;
   auto medianOf = [](std::vector<double> v) {
@@ -216,6 +267,8 @@ int main() {
   };
   const double backendSpeedup = medianOf(stackRatios);
   const double wbBackendSpeedup = medianOf(wbRatios);
+  const double fifoBackendSpeedup = medianOf(fifoRatios);
+  const double plruBackendSpeedup = medianOf(plruRatios);
   const double overheadPct = 100.0 * (obsSec - parSec) / parSec;
 
   std::printf("per-point baseline : %8.3f s  (%9.1f points/s)\n", baseSec,
@@ -232,6 +285,14 @@ int main() {
               n / wbSimSec);
   std::printf("wb+energy stackdist: %8.3f s  (%9.1f points/s)  %.2fx vs multisim\n",
               wbStackSec, n / wbStackSec, wbBackendSpeedup);
+  std::printf("fifo multisim      : %8.3f s  (%9.1f points/s)\n", fifoSimSec,
+              n / fifoSimSec);
+  std::printf("fifo policy grid   : %8.3f s  (%9.1f points/s)  %.2fx vs multisim\n",
+              fifoStackSec, n / fifoStackSec, fifoBackendSpeedup);
+  std::printf("plru multisim      : %8.3f s  (%9.1f points/s)\n", plruSimSec,
+              n / plruSimSec);
+  std::printf("plru policy grid   : %8.3f s  (%9.1f points/s)  %.2fx vs multisim\n",
+              plruStackSec, n / plruStackSec, plruBackendSpeedup);
   std::printf("bit-identical      : %s\n", ok ? "yes" : "NO");
 
   // Budgets: the analytic backend must earn its keep on an LRU-only
@@ -240,7 +301,8 @@ int main() {
   // in the noise (absolute guard for sub-100ms runs where one scheduler
   // blip is a large percentage).
   const bool fastEnough =
-      backendSpeedup >= 2.0 && wbBackendSpeedup >= 2.0;
+      backendSpeedup >= 2.0 && wbBackendSpeedup >= 2.0 &&
+      fifoBackendSpeedup >= 2.0 && plruBackendSpeedup >= 2.0;
   if (backendSpeedup < 2.0) {
     std::cerr << "BUDGET: stackdist backend speedup " << backendSpeedup
               << "x is below the 2x floor\n";
@@ -248,6 +310,14 @@ int main() {
   if (wbBackendSpeedup < 2.0) {
     std::cerr << "BUDGET: write-back stackdist backend speedup "
               << wbBackendSpeedup << "x is below the 2x floor\n";
+  }
+  if (fifoBackendSpeedup < 2.0) {
+    std::cerr << "BUDGET: FIFO policy-grid speedup " << fifoBackendSpeedup
+              << "x is below the 2x floor\n";
+  }
+  if (plruBackendSpeedup < 2.0) {
+    std::cerr << "BUDGET: PLRU policy-grid speedup " << plruBackendSpeedup
+              << "x is below the 2x floor\n";
   }
   const bool lowOverhead = overheadPct < 5.0 || (obsSec - parSec) < 0.05;
   if (!lowOverhead) {
@@ -272,6 +342,16 @@ int main() {
        << ", \"writeback_stackdist_seconds\": " << wbStackSec
        << ", \"writeback_stackdist_points_per_sec\": " << n / wbStackSec
        << ", \"writeback_backend_speedup\": " << wbBackendSpeedup
+       << ", \"fifo_multisim_seconds\": " << fifoSimSec
+       << ", \"fifo_multisim_points_per_sec\": " << n / fifoSimSec
+       << ", \"fifo_stackdist_seconds\": " << fifoStackSec
+       << ", \"fifo_stackdist_points_per_sec\": " << n / fifoStackSec
+       << ", \"fifo_backend_speedup\": " << fifoBackendSpeedup
+       << ", \"plru_multisim_seconds\": " << plruSimSec
+       << ", \"plru_multisim_points_per_sec\": " << n / plruSimSec
+       << ", \"plru_stackdist_seconds\": " << plruStackSec
+       << ", \"plru_stackdist_points_per_sec\": " << n / plruStackSec
+       << ", \"plru_backend_speedup\": " << plruBackendSpeedup
        << ", \"speedup\": " << speedup
        << ", \"backend_speedup\": " << backendSpeedup
        << ", \"sink_overhead_pct\": " << overheadPct

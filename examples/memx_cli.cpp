@@ -2,6 +2,7 @@
 //
 //   memx_cli explore <kernel> [--em <nJ>] [--no-layout] [--csv]
 //                    [--write-energy] [--backend <auto|multisim|stackdist>]
+//                    [--replacement <lru|fifo|plru|random>]
 //                    [--search [--joint] [--seed <n>] [--pop <n>]
 //                     [--gens <n>] [--budget <n>]]
 //   memx_cli explore --trace <din-file[.gz]> [--skip <n>] [--warmup <n>]
@@ -60,6 +61,7 @@ struct Args {
   std::optional<std::string> cacheLabel;
   std::uint32_t lineBytes = 8;
   SweepBackend backend = SweepBackend::Auto;
+  ReplacementPolicy replacement = ReplacementPolicy::LRU;
   bool search = false;
   bool joint = false;
   search::SearchOptions searchOptions;
@@ -93,6 +95,15 @@ std::uint64_t parseFlagUnsigned(const std::string& flag,
   } catch (const std::exception&) {
     throw std::invalid_argument(where + ": out of range");
   }
+}
+
+ReplacementPolicy parseReplacementFlag(const std::string& text) {
+  if (text == "lru") return ReplacementPolicy::LRU;
+  if (text == "fifo") return ReplacementPolicy::FIFO;
+  if (text == "plru") return ReplacementPolicy::TreePLRU;
+  if (text == "random") return ReplacementPolicy::Random;
+  throw std::invalid_argument("unknown replacement policy '" + text +
+                              "' (expected lru, fifo, plru or random)");
 }
 
 double parseFlagDouble(const std::string& flag, const std::string& text) {
@@ -131,6 +142,8 @@ Args parseArgs(int argc, char** argv) {
           static_cast<std::uint32_t>(parseFlagUnsigned(arg, value(), kU32));
     } else if (arg == "--backend") {
       args.backend = parseSweepBackend(value());
+    } else if (arg == "--replacement") {
+      args.replacement = parseReplacementFlag(value());
     } else if (arg == "--search") {
       args.search = true;
     } else if (arg == "--joint") {
@@ -223,6 +236,7 @@ int cmdExplore(const Args& args) {
     options.energy.emNj = args.em;
     options.includeWriteEnergy = args.writeEnergy;
     options.backend = args.backend;
+    options.replacement = args.replacement;
     FileTraceSource source(*args.traceFile);
     const ExplorationResult result =
         exploreTrace(*args.traceFile, source, options, args.window);
@@ -243,6 +257,9 @@ int cmdExplore(const Args& args) {
   // stackdist backend via its dirty-stack accounting.
   options.includeWriteEnergy = args.writeEnergy;
   options.backend = args.backend;
+  // Any deterministic policy may force the analytic backend: LRU rides
+  // the Hill-Smith profile, FIFO/PLRU the single-pass policy grid.
+  options.replacement = args.replacement;
   const Explorer explorer(options);
   if (args.search) {
     search::SearchOptions searchOptions = args.searchOptions;

@@ -10,6 +10,12 @@ namespace memx {
 CacheSim::CacheSim(const CacheConfig& config, std::uint64_t rngSeed)
     : config_(config), rng_(rngSeed) {
   config_.validate();
+  // The PLRU tree over A ways has A - 1 internal nodes packed into one
+  // word per set, so the policy is representable up to 64 ways; wider
+  // trees would silently wrap the node shifts below, so refuse loudly.
+  MEMX_EXPECTS(config_.replacement != ReplacementPolicy::TreePLRU ||
+                   config_.associativity <= 64,
+               "TreePLRU supports at most 64 ways per set");
   lineShift_ = log2Exact(config_.lineBytes);
   setShift_ = log2Exact(config_.numSets());
   setMask_ = config_.numSets() - 1;
@@ -25,18 +31,18 @@ void CacheSim::plruTouch(std::uint32_t setIndex, std::size_t way) {
       config_.associativity < 2) {
     return;
   }
-  std::uint32_t& bits = plruBits_[setIndex];
+  std::uint64_t& bits = plruBits_[setIndex];
   std::size_t node = 0;
   std::size_t lo = 0;
   std::size_t hi = config_.associativity;
   while (hi - lo > 1) {
     const std::size_t mid = lo + (hi - lo) / 2;
     if (way < mid) {
-      bits |= (1u << node);  // point right, away from the touched way
-      node = 2 * node + 1;
+      bits |= (std::uint64_t{1} << node);  // point right, away from
+      node = 2 * node + 1;                 // the touched way
       hi = mid;
     } else {
-      bits &= ~(1u << node);  // point left
+      bits &= ~(std::uint64_t{1} << node);  // point left
       node = 2 * node + 2;
       lo = mid;
     }
@@ -45,13 +51,13 @@ void CacheSim::plruTouch(std::uint32_t setIndex, std::size_t way) {
 
 std::size_t CacheSim::plruVictim(std::uint32_t setIndex) const {
   if (config_.associativity < 2) return 0;
-  const std::uint32_t bits = plruBits_[setIndex];
+  const std::uint64_t bits = plruBits_[setIndex];
   std::size_t node = 0;
   std::size_t lo = 0;
   std::size_t hi = config_.associativity;
   while (hi - lo > 1) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (bits & (1u << node)) {  // points right
+    if (bits & (std::uint64_t{1} << node)) {  // points right
       node = 2 * node + 2;
       lo = mid;
     } else {

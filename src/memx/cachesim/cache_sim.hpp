@@ -122,7 +122,7 @@ private:
   unsigned setShift_ = 0;    ///< log2(numSets)
   std::uint64_t setMask_ = 0;  ///< numSets - 1
   std::vector<Line> lines_;  ///< numSets * associativity, set-major
-  std::vector<std::uint32_t> plruBits_;  ///< one tree per set
+  std::vector<std::uint64_t> plruBits_;  ///< one tree per set (<= 64 ways)
   std::uint64_t clock_ = 0;
   CacheStats stats_;
   std::mt19937_64 rng_;

@@ -35,6 +35,8 @@ std::string diffCaseRepro(const DiffCase& c, std::size_t len) {
      << " alloc=" << toString(c.config.allocatePolicy)
      << " l2=" << c.l2.label()
      << " lru=" << c.lru.label()
+     << " grid=" << c.grid.label()
+     << "/" << toString(c.grid.replacement)
      << " | rerun: memx::replayDiffCase(" << c.seed << ", " << len << ")";
   return os.str();
 }
@@ -198,6 +200,39 @@ std::string diffAllPaths(const DiffCase& c, const Trace& trace) {
     }
   }
 
+  // Path 7: policy-grid bank. c.grid draws FIFO or tree-PLRU (both
+  // write policies across seeds), so this bank lands on StackDistSim's
+  // PolicyGridProfile engine instead of the Hill–Smith profile. The
+  // same sibling scheme as path 6 reads the single pass at several
+  // (sets, ways) corners — fully-associative (capped at the grid's
+  // 64-way limit), direct-mapped and a forced write-back sibling that
+  // exercises the per-cell dirty masks even when c.grid drew
+  // write-through — and every member must match BOTH the oracle and the
+  // production simulator field for field.
+  {
+    CacheConfig fa = c.grid;
+    fa.associativity = std::min(fa.numLines(), 64u);
+    CacheConfig dm = c.grid;
+    dm.associativity = 1;
+    CacheConfig wb = c.grid;
+    wb.writePolicy = WritePolicy::WriteBack;
+    const std::vector<CacheConfig> bank = {c.grid, fa, dm, wb};
+    StackDistSim gridBank(bank);
+    gridBank.run(trace);
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      const CacheStats oracleStats = refSimulateTrace(bank[i], trace);
+      const CacheStats simStats = simulateTrace(bank[i], trace);
+      const std::string path = "PolicyGrid[" + std::to_string(i) + "]";
+      std::string d = diffStats(path + " vs RefCacheSim", oracleStats,
+                                gridBank.stats(i));
+      if (d.empty()) {
+        d = diffStats(path + " vs CacheSim.run", simStats,
+                      gridBank.stats(i));
+      }
+      if (!d.empty()) return d;
+    }
+  }
+
   return {};
 }
 
@@ -209,6 +244,7 @@ DiffCase makeDiffCase(std::uint64_t seed) {
   c.config = randomCacheConfig(seed);
   c.l2 = randomL2Config(c.config, seed);
   c.lru = randomLruCacheConfig(seed);
+  c.grid = randomGridCacheConfig(seed);
   c.trace = randomCheckTrace(seed);
   return c;
 }

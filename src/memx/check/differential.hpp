@@ -3,9 +3,11 @@
 // Each seeded case replays one generated reference stream through every
 // production simulation path — CacheSim's bulk fast path, its
 // per-access outcome path, a MultiCacheSim bank, the two-level
-// CacheHierarchy, the set-sampling estimator and the stack-distance
-// bank (StackDistSim, on an always-in-domain LRU config plus its
-// fully-associative and direct-mapped siblings) — and diffs the full
+// CacheHierarchy, the set-sampling estimator, the stack-distance bank
+// (StackDistSim on an always-in-domain LRU config plus its
+// fully-associative and direct-mapped siblings) and the policy-grid
+// bank (the same sibling scheme on a seed-pure FIFO or tree-PLRU
+// config, exercising PolicyGridProfile) — and diffs the full
 // statistics of each against the naive RefCacheSim oracle. Full
 // simulation must match bit for bit (including the Random replacement
 // policy, which both sides draw from identically-seeded engines); set
@@ -31,13 +33,15 @@ struct DiffCase {
   CacheConfig l2;      ///< inclusive outer level for the hierarchy path
   CacheConfig lru;     ///< LRU/write-allocate config for the stack-
                        ///< distance path (StackDistSim's domain)
+  CacheConfig grid;    ///< FIFO/TreePLRU write-allocate config for the
+                       ///< policy-grid path (PolicyGridProfile's domain)
   Trace trace;
 };
 
 /// Generate the case for `seed` (config from randomCacheConfig, L2 from
-/// randomL2Config, lru from randomLruCacheConfig, stream from
-/// randomCheckTrace — policies cover all 16 combinations over any 16
-/// consecutive seeds).
+/// randomL2Config, lru from randomLruCacheConfig, grid from
+/// randomGridCacheConfig, stream from randomCheckTrace — policies cover
+/// all 16 combinations over any 16 consecutive seeds).
 [[nodiscard]] DiffCase makeDiffCase(std::uint64_t seed);
 
 /// One-line reproduction header for `c` truncated to `len` references

@@ -84,6 +84,22 @@ CacheConfig randomLruCacheConfig(std::uint64_t seed) {
   return config;
 }
 
+CacheConfig randomGridCacheConfig(std::uint64_t seed) {
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 5);
+  CacheConfig config;
+  config.lineBytes = 4u << pickInt(rng, 0, 3);            // 4..32
+  const std::uint32_t sets = 1u << pickInt(rng, 0, 4);    // 1..16
+  config.associativity = 1u << pickInt(rng, 0, 3);        // 1..8
+  config.sizeBytes = config.lineBytes * sets * config.associativity;
+  config.replacement = (seed % 2 == 0) ? ReplacementPolicy::FIFO
+                                       : ReplacementPolicy::TreePLRU;
+  config.allocatePolicy = AllocatePolicy::WriteAllocate;
+  config.writePolicy = ((seed / 2) % 2 == 0) ? WritePolicy::WriteBack
+                                             : WritePolicy::WriteThrough;
+  config.validate();
+  return config;
+}
+
 CacheConfig randomL2Config(const CacheConfig& l1, std::uint64_t seed) {
   std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 2);
   CacheConfig l2;

@@ -29,6 +29,14 @@ namespace memx {
 /// `seed % 2`. Feed these to StackDistSim-vs-simulator differentials.
 [[nodiscard]] CacheConfig randomLruCacheConfig(std::uint64_t seed);
 
+/// A random geometry restricted to the policy-grid domain: same
+/// L/sets/ways distribution again (independent rng stream), FIFO for
+/// even seeds and tree-PLRU for odd ones, always write-allocate, with
+/// the write policy alternating on `(seed / 2) % 2` so four consecutive
+/// seeds cover both policies under both write policies. Feed these to
+/// PolicyGridProfile-vs-simulator differentials.
+[[nodiscard]] CacheConfig randomGridCacheConfig(std::uint64_t seed);
+
 /// The L2 companion of randomCacheConfig(seed): a valid inclusive outer
 /// level (line >= L1 line, capacity >= L1 capacity) with its own
 /// seed-derived associativity and policies.

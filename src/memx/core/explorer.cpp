@@ -100,7 +100,7 @@ std::string canonicalModelKey(const ExploreOptions& options) {
   // the golden forced-backend equality gates).
   SweepBackend backend = options.backend;
   if (backend == SweepBackend::Auto) {
-    backend = options.replacement == ReplacementPolicy::LRU
+    backend = options.replacement != ReplacementPolicy::Random
                   ? SweepBackend::StackDist
                   : SweepBackend::MultiSim;
   }
@@ -272,20 +272,25 @@ Explorer::Explorer(ExploreOptions options)
   options_.energy.validate();
   MEMX_EXPECTS(options_.backend != SweepBackend::StackDist ||
                    stackDistEligible(),
-               "SweepBackend::StackDist requires LRU replacement "
-               "(write policy and includeWriteEnergy are unrestricted: "
-               "dirty-stack accounting makes write-back writeback counts "
-               "exact); use SweepBackend::Auto to fall back to simulation");
+               "SweepBackend::StackDist requires LRU, FIFO or TreePLRU "
+               "replacement (Random draws from a simulator-owned rng "
+               "stream; write policy and includeWriteEnergy are "
+               "unrestricted — dirty accounting makes write-back "
+               "writeback counts exact for every analytic policy); use "
+               "SweepBackend::Auto to fall back to simulation");
 }
 
 bool Explorer::stackDistEligible() const noexcept {
-  // configFor() always leaves allocatePolicy at WriteAllocate, so LRU
-  // replacement is the whole domain check. Every statistic the models
-  // read is stack-distance-derivable for both write policies:
+  // configFor() always leaves allocatePolicy at WriteAllocate, so the
+  // replacement policy is the whole domain check: LRU sweeps read a
+  // Hill-Smith stack-distance profile, FIFO and tree-PLRU sweeps read
+  // a single-pass policy-grid profile, and only Random (whose victims
+  // come from a simulator-owned rng stream) must simulate. Every
+  // statistic the models read is exact for both write policies:
   // write-through memWrites are one word store per write probe, and
-  // write-back writebacks fall out of the profile's dirty-stack
-  // accounting, so includeWriteEnergy no longer forces simulation.
-  return options_.replacement == ReplacementPolicy::LRU;
+  // write-back writebacks fall out of each profile's dirty accounting,
+  // so includeWriteEnergy never forces simulation.
+  return options_.replacement != ReplacementPolicy::Random;
 }
 
 SweepBackend Explorer::resolvedBackend() const noexcept {
@@ -512,6 +517,11 @@ void Explorer::evaluateGroup(const SweepPlan::Group& group,
       recorder_->counter("sweep.groups_stackdist").add();
       recorder_->counter("sweep.points").add(group.keyIndices.size());
       recorder_->counter("stackdist.passes").add(bank.passCount());
+      // FIFO/PLRU groups run as single-pass grid simulations; count
+      // those passes and the (sets, ways) cells they cover so sweep
+      // reports show how much of the run the grid engine carried.
+      recorder_->counter("stackdist.grid_passes").add(bank.gridPassCount());
+      recorder_->counter("stackdist.grid_cells").add(bank.gridCellCount());
       // Trace references actually profiled (one pass per line size),
       // versus the trace.size() * configs a simulating backend pays.
       recorder_->counter("stackdist.accesses")

@@ -303,11 +303,12 @@ public:
                      const std::vector<ConfigKey>& keys,
                      std::vector<DesignPoint>& out) const;
 
-  /// True iff the configured policies are in the stack-distance domain:
-  /// LRU replacement (configFor always uses write-allocate fills).
-  /// Write policy and includeWriteEnergy are unrestricted — the
-  /// profile's dirty-stack accounting yields exact write-back writeback
-  /// counts, so write-energy sweeps stay analytic too.
+  /// True iff the configured policies are in the analytic domain:
+  /// LRU, FIFO or TreePLRU replacement (configFor always uses
+  /// write-allocate fills); only Random must simulate. Write policy
+  /// and includeWriteEnergy are unrestricted — each profile's dirty
+  /// accounting yields exact write-back writeback counts, so
+  /// write-energy sweeps stay analytic too.
   [[nodiscard]] bool stackDistEligible() const noexcept;
 
   /// The engine sweeps will actually use: Auto resolves to StackDist

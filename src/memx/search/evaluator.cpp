@@ -39,8 +39,8 @@ SearchEvaluator::ComboState& SearchEvaluator::comboFor(const Genome& g) {
   options.writePolicy = space_.options().writePolicies[key[1]];
   options.optimizeLayout = space_.decode(g).optimizeLayout;
   // A forced MultiSim stays forced; Auto and a forced StackDist both
-  // resolve per combo (LRU combos analytic, others simulated) so a
-  // FIFO combo never trips the StackDist eligibility check.
+  // resolve per combo (LRU/FIFO/PLRU combos analytic, Random
+  // simulated) so a Random combo never trips the eligibility check.
   options.backend = base_.backend == SweepBackend::MultiSim
                         ? SweepBackend::MultiSim
                         : SweepBackend::Auto;

@@ -269,36 +269,102 @@ TEST(Properties, StackDistBackendBitIdenticalToMultiSimOnGoldenCorpus) {
   }
 }
 
+// The same golden-corpus bit-equality contract for the policy-grid
+// engine: forcing StackDist on FIFO and tree-PLRU sweeps must produce
+// results indistinguishable from MultiCacheSim, point by point, with
+// write-back dirty accounting exercised through the energy totals.
+TEST(Properties, GridBackendBitIdenticalToMultiSimOnGoldenCorpus) {
+  ExploreOptions options;
+  options.ranges.onChipBytes = 256;
+  options.ranges.maxCacheBytes = 256;
+  options.ranges.minCacheBytes = 16;
+  options.ranges.minLineBytes = 4;
+  options.ranges.maxLineBytes = 32;
+  options.ranges.maxAssociativity = 4;
+  options.ranges.maxTiling = 4;
+  options.writePolicy = WritePolicy::WriteBack;
+
+  const Kernel kernels[] = {compressKernel(), matrixAddKernel(8),
+                            dequantKernel(16), transposeKernel(16)};
+  for (const ReplacementPolicy rp :
+       {ReplacementPolicy::FIFO, ReplacementPolicy::TreePLRU}) {
+    options.replacement = rp;
+    for (const bool writeEnergy : {false, true}) {
+      options.includeWriteEnergy = writeEnergy;
+      ExploreOptions stackOptions = options;
+      stackOptions.backend = SweepBackend::StackDist;
+      ExploreOptions simOptions = options;
+      simOptions.backend = SweepBackend::MultiSim;
+
+      for (const Kernel& kernel : kernels) {
+        const ExplorationResult analytic =
+            Explorer(stackOptions).explore(kernel);
+        const ExplorationResult simulated =
+            Explorer(simOptions).explore(kernel);
+        ASSERT_EQ(analytic.points.size(), simulated.points.size());
+        ASSERT_FALSE(analytic.points.empty());
+        for (std::size_t i = 0; i < analytic.points.size(); ++i) {
+          const DesignPoint& a = analytic.points[i];
+          const DesignPoint& s = simulated.points[i];
+          ASSERT_EQ(a.key, s.key) << kernel.name;
+          EXPECT_EQ(a.accesses, s.accesses)
+              << toString(rp) << " " << kernel.name << " " << a.label();
+          // Bit-identical, not approximately equal: any drift prints
+          // the per-point delta through the gtest failure message.
+          EXPECT_EQ(a.missRate, s.missRate)
+              << toString(rp) << " " << kernel.name << " " << a.label();
+          EXPECT_EQ(a.cycles, s.cycles)
+              << toString(rp) << " " << kernel.name << " " << a.label();
+          EXPECT_EQ(a.energyNj, s.energyNj)
+              << toString(rp) << " " << kernel.name << " writeEnergy="
+              << writeEnergy << " " << a.label();
+        }
+      }
+    }
+  }
+}
+
 // An Explorer whose options force StackDist outside its domain must be
 // rejected at construction, not silently fall back — and the domain is
-// now exactly "LRU replacement": dirty-stack accounting made write-back
-// + write-energy sweeps analytic, so only the replacement policy gates.
+// now "any deterministic replacement": LRU runs the Hill-Smith
+// profile, FIFO and tree-PLRU the single-pass policy grid, so only a
+// Random sweep (simulator-owned rng stream) still gates.
 TEST(Properties, ForcedStackDistBackendRejectsIneligibleOptions) {
   ExploreOptions options;
   options.backend = SweepBackend::StackDist;
-  options.replacement = ReplacementPolicy::FIFO;
+  options.replacement = ReplacementPolicy::Random;
   EXPECT_THROW(Explorer{options}, ContractViolation);
 
-  // LRU + write-back + write energy used to be rejected (writebacks
-  // were not derivable); with dirty-stack accounting it is eligible.
-  options.replacement = ReplacementPolicy::LRU;
+  // FIFO and tree-PLRU used to be rejected here; the policy-grid
+  // engine made them first-class analytic sweeps (both write policies).
+  options.replacement = ReplacementPolicy::FIFO;
+  EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
+  options.replacement = ReplacementPolicy::TreePLRU;
   options.includeWriteEnergy = true;
   options.writePolicy = WritePolicy::WriteBack;
   EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
 
-  // Write-through with write energy stays eligible as before.
+  // LRU + write-back + write energy stays eligible (dirty-stack
+  // accounting), as does write-through with write energy.
+  options.replacement = ReplacementPolicy::LRU;
+  EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
   options.writePolicy = WritePolicy::WriteThrough;
   EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
 
-  // Auto now picks StackDist for the write-back write-energy sweep too
-  // (this was the MultiSim fallback before the accounting landed)...
+  // Auto picks the analytic backend for every deterministic policy...
   options.backend = SweepBackend::Auto;
   options.writePolicy = WritePolicy::WriteBack;
-  EXPECT_TRUE(Explorer(options).stackDistEligible());
-  EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist);
+  for (const ReplacementPolicy rp :
+       {ReplacementPolicy::LRU, ReplacementPolicy::FIFO,
+        ReplacementPolicy::TreePLRU}) {
+    options.replacement = rp;
+    EXPECT_TRUE(Explorer(options).stackDistEligible()) << toString(rp);
+    EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::StackDist)
+        << toString(rp);
+  }
 
-  // ...while non-LRU replacement still falls back to simulation.
-  options.replacement = ReplacementPolicy::TreePLRU;
+  // ...while Random replacement still falls back to simulation.
+  options.replacement = ReplacementPolicy::Random;
   EXPECT_FALSE(Explorer(options).stackDistEligible());
   EXPECT_EQ(Explorer(options).resolvedBackend(), SweepBackend::MultiSim);
 }

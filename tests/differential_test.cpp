@@ -6,6 +6,7 @@
 
 #include <cstdlib>
 #include <set>
+#include <utility>
 
 #include "memx/check/differential.hpp"
 #include "memx/check/random_gen.hpp"
@@ -33,11 +34,27 @@ TEST(Differential, SixteenConsecutiveSeedsCoverEveryPolicyCombo) {
   EXPECT_EQ(combos.size(), 16u);
 }
 
+TEST(Differential, FourConsecutiveSeedsCoverEveryGridCombo) {
+  // The policy-grid path draws FIFO/TreePLRU x write-back/write-through
+  // from the seed alone; any four consecutive seeds must cover all
+  // four, so the default sweep exercises each combination often.
+  std::set<std::pair<ReplacementPolicy, WritePolicy>> combos;
+  for (std::uint64_t seed = 8; seed < 12; ++seed) {
+    const CacheConfig c = randomGridCacheConfig(seed);
+    EXPECT_TRUE(c.replacement == ReplacementPolicy::FIFO ||
+                c.replacement == ReplacementPolicy::TreePLRU);
+    EXPECT_EQ(c.allocatePolicy, AllocatePolicy::WriteAllocate);
+    combos.insert({c.replacement, c.writePolicy});
+  }
+  EXPECT_EQ(combos.size(), 4u);
+}
+
 TEST(Differential, GeneratedConfigsAreValid) {
   for (std::uint64_t seed = 1; seed <= 64; ++seed) {
     const DiffCase c = makeDiffCase(seed);
     EXPECT_NO_THROW(c.config.validate()) << "seed " << seed;
     EXPECT_NO_THROW(c.l2.validate()) << "seed " << seed;
+    EXPECT_NO_THROW(c.grid.validate()) << "seed " << seed;
     EXPECT_GE(c.l2.lineBytes, c.config.lineBytes);
     EXPECT_GE(c.l2.sizeBytes, c.config.sizeBytes);
     EXPECT_GE(c.trace.size(), 200u) << "seed " << seed;
@@ -74,6 +91,8 @@ TEST(Differential, ReproLineNamesSeedLengthAndPolicies) {
   EXPECT_NE(line.find("len=123"), std::string::npos) << line;
   EXPECT_NE(line.find("cfg=" + c.config.label()), std::string::npos);
   EXPECT_NE(line.find(toString(c.config.replacement)), std::string::npos);
+  EXPECT_NE(line.find("grid=" + c.grid.label()), std::string::npos);
+  EXPECT_NE(line.find(toString(c.grid.replacement)), std::string::npos);
   EXPECT_NE(line.find("replayDiffCase(17, 123)"), std::string::npos);
   // Single line: failures must grep as one repro entry.
   EXPECT_EQ(line.find('\n'), std::string::npos);

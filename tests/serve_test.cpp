@@ -133,17 +133,24 @@ TEST(Protocol, CanonicalKeySplitsIntoRangesAndModel) {
   EXPECT_EQ(canonicalExploreKey(a),
             canonicalRangesKey(a.ranges) + canonicalModelKey(a));
   // Auto collapses to its resolution: an Auto/LRU run shares its key
-  // with a forced-stackdist run, and differs once the policy forces
-  // the multisim backend.
+  // with a forced-stackdist run — and so does an Auto/FIFO run now
+  // that the policy-grid backend serves FIFO/PLRU sweeps analytically.
+  // Only Random still resolves to (and keys as) the multisim backend.
   ExploreOptions forced = a;
   forced.backend = SweepBackend::StackDist;
   EXPECT_EQ(canonicalExploreKey(a), canonicalExploreKey(forced));
   ExploreOptions fifo = a;
   fifo.replacement = ReplacementPolicy::FIFO;
   ExploreOptions fifoForced = fifo;
-  fifoForced.backend = SweepBackend::MultiSim;
+  fifoForced.backend = SweepBackend::StackDist;
   EXPECT_EQ(canonicalExploreKey(fifo), canonicalExploreKey(fifoForced));
   EXPECT_NE(canonicalExploreKey(a), canonicalExploreKey(fifo));
+  ExploreOptions rnd = a;
+  rnd.replacement = ReplacementPolicy::Random;
+  ExploreOptions rndForced = rnd;
+  rndForced.backend = SweepBackend::MultiSim;
+  EXPECT_EQ(canonicalExploreKey(rnd), canonicalExploreKey(rndForced));
+  EXPECT_NE(canonicalExploreKey(a), canonicalExploreKey(rnd));
   // Model changes move the key; range changes move only the range half.
   ExploreOptions em = a;
   em.energy.emNj = 9.0;

@@ -5,6 +5,7 @@
 // or the naive reference walk (memx/check/ref_stack_dist.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "memx/check/ref_stack_dist.hpp"
 #include "memx/stackdist/all_assoc.hpp"
 #include "memx/stackdist/ordered_stack.hpp"
+#include "memx/stackdist/policy_grid.hpp"
 #include "memx/stackdist/stackdist_sim.hpp"
 #include "memx/trace/working_set.hpp"
 #include "memx/util/assert.hpp"
@@ -337,6 +339,247 @@ TEST(AllAssocProfile, RejectsBadArguments) {
   EXPECT_THROW(AllAssocProfile(bad, 8, 1, 1), ContractViolation);
 }
 
+// --- PolicyGridProfile known answers ---------------------------------
+
+/// CacheStats of a `policy` cache (`sets` x `assoc`, L = 4) simulated
+/// over `t` — the oracle every grid hand trace is double-checked
+/// against.
+CacheStats simPolicy(const Trace& t, ReplacementPolicy policy,
+                     std::uint32_t sets, std::uint32_t assoc,
+                     WritePolicy wp = WritePolicy::WriteBack) {
+  CacheConfig c;
+  c.lineBytes = 4;
+  c.associativity = assoc;
+  c.sizeBytes = 4 * sets * assoc;
+  c.replacement = policy;
+  c.writePolicy = wp;
+  return simulateTrace(c, t);
+}
+
+/// One 4-byte read per entry, entry i touching line `lines[i]` (L = 4).
+Trace lineTrace(std::initializer_list<std::uint64_t> lines) {
+  Trace t;
+  for (const std::uint64_t line : lines) t.push(readRef(line * 4, 4));
+  return t;
+}
+
+TEST(PolicyGridProfile, FifoEvictionOrderIgnoresReReference) {
+  // Lines A=0 B=1 C=2 in 1 set of 2 ways, sequence A B A C A. The A
+  // re-reference does not refresh A's fill stamp, so C still evicts A
+  // (the oldest fill) and the final A misses again: 4 FIFO misses.
+  // LRU protects the re-referenced A and evicts B instead: 3 misses.
+  const Trace t = lineTrace({0, 1, 0, 2, 0});
+  const PolicyGridProfile fifo(t, ReplacementPolicy::FIFO, 4, 1, 2);
+  EXPECT_EQ(fifo.accesses(), 5u);
+  EXPECT_EQ(fifo.misses(1, 2), 4u);
+  EXPECT_EQ(fifo.misses(1, 2),
+            simPolicy(t, ReplacementPolicy::FIFO, 1, 2).misses());
+  const AllAssocProfile lru(t, 4, 1, 2);
+  EXPECT_EQ(lru.misses(1, 2), 3u);
+}
+
+TEST(PolicyGridProfile, PinnedBeladyAnomalyMoreWaysMoreMisses) {
+  // Bélády's anomaly, pinned: FIFO over line sequence 3 4 1 2 0 3.
+  // Both geometries hold four lines, yet the 2-set x 2-way cache takes
+  // 5 misses while the fully associative 1-set x 4-way cache takes 6
+  // (its round-robin cursor evicts line 3 under the fill of line 0, so
+  // the final re-access of 3 misses; the split cache keeps 3 resident
+  // in set 1). More ways, more misses at fixed capacity — FIFO grid
+  // cells are not inclusive, which is exactly why PolicyGridProfile
+  // simulates every cell instead of reading a Mattson histogram, and
+  // why no "bigger cell hits => smaller cell hits" shortcut is legal.
+  const Trace t = lineTrace({3, 4, 1, 2, 0, 3});
+  const PolicyGridProfile p(t, ReplacementPolicy::FIFO, 4, 2, 4);
+  EXPECT_EQ(p.misses(2, 2), 5u);
+  EXPECT_EQ(p.misses(1, 4), 6u);
+  EXPECT_EQ(p.misses(2, 2),
+            simPolicy(t, ReplacementPolicy::FIFO, 2, 2).misses());
+  EXPECT_EQ(p.misses(1, 4),
+            simPolicy(t, ReplacementPolicy::FIFO, 1, 4).misses());
+}
+
+TEST(PolicyGridProfile, PlruTwoWaysDegeneratesToLru) {
+  // A single tree bit over 2 ways is precise LRU: on A B A C A the
+  // re-referenced A survives (3 misses, like AllAssocProfile), unlike
+  // FIFO's 4 in FifoEvictionOrderIgnoresReReference.
+  const Trace t = lineTrace({0, 1, 0, 2, 0});
+  const PolicyGridProfile plru(t, ReplacementPolicy::TreePLRU, 4, 1, 2);
+  EXPECT_EQ(plru.misses(1, 2), 3u);
+  EXPECT_EQ(plru.misses(1, 2),
+            simPolicy(t, ReplacementPolicy::TreePLRU, 1, 2).misses());
+  const AllAssocProfile lru(t, 4, 1, 2);
+  EXPECT_EQ(lru.misses(1, 2), plru.misses(1, 2));
+}
+
+TEST(PolicyGridProfile, PlruFourWayTreeBitFlips) {
+  // A B C D A E B C in 1 set of 4 ways, tree bits hand-walked with
+  // CacheSim's lo/hi/mid layout (root = bit 0, left child = bit 1,
+  // right child = bit 2; a set bit points right, away from the touch):
+  //   A miss w0 -> 011, B miss w1 -> 001, C miss w2 -> 100,
+  //   D miss w3 -> 000, A hit w0 -> 011 (root now points right),
+  //   E miss: root right, bit 2 clear -> victim w2 evicts C (LRU would
+  //   evict B; FIFO would evict A), fill E -> 110,
+  //   B hit w1 -> 101, C miss: root right, bit 2 set -> victim w3
+  //   evicts D, fill C -> 000.
+  // 6 misses, 2 hits — a count that separates tree-PLRU (6) from both
+  // FIFO (5) and true LRU (7) on the same sequence.
+  const Trace t = lineTrace({0, 1, 2, 3, 0, 4, 1, 2});
+  const PolicyGridProfile plru(t, ReplacementPolicy::TreePLRU, 4, 1, 4);
+  EXPECT_EQ(plru.misses(1, 4), 6u);
+  EXPECT_EQ(plru.misses(1, 4),
+            simPolicy(t, ReplacementPolicy::TreePLRU, 1, 4).misses());
+  const PolicyGridProfile fifo(t, ReplacementPolicy::FIFO, 4, 1, 4);
+  EXPECT_EQ(fifo.misses(1, 4), 5u);
+  const AllAssocProfile lru(t, 4, 1, 4);
+  EXPECT_EQ(lru.misses(1, 4), 7u);
+}
+
+TEST(PolicyGridProfile, PlruEightWayTreeBitFlips) {
+  // Three tree levels: lines 0..7 cold-fill ways 0..7, then
+  //   0 hit w0 (root and both level-1/2 bits on its path point right),
+  //   8 miss: victim walk crosses the root into the upper half and
+  //     evicts line 4 from w4,
+  //   4 miss: w4's fill pointed the root left again, so the walk stays
+  //     in the lower half and evicts line 2 from w2,
+  //   9 miss: evicts line 6 from w6.
+  // 11 misses, 1 hit (hand-walked against CacheSim's exact tree).
+  const Trace t = lineTrace({0, 1, 2, 3, 4, 5, 6, 7, 0, 8, 4, 9});
+  const PolicyGridProfile plru(t, ReplacementPolicy::TreePLRU, 4, 1, 8);
+  EXPECT_EQ(plru.accesses(), 12u);
+  EXPECT_EQ(plru.misses(1, 8), 11u);
+  EXPECT_EQ(plru.misses(1, 8),
+            simPolicy(t, ReplacementPolicy::TreePLRU, 1, 8).misses());
+}
+
+TEST(PolicyGridProfile, DirtyEvictionWritebackPerPolicy) {
+  // w0 r0 w0 r4 r8 in 1 set of 2 ways. Re-dirtying resident line 0
+  // through the MRU fast path (write, read hit, write again) must cost
+  // exactly one writeback when r8's fill finally evicts it — for both
+  // grid policies, matching the write-back simulator; the 1-way column
+  // pays one writeback at r4 and evicts clean line 1 at r8.
+  Trace t;
+  t.push(writeRef(0, 4));
+  t.push(readRef(0, 4));
+  t.push(writeRef(0, 4));
+  t.push(readRef(4, 4));
+  t.push(readRef(8, 4));
+  for (const ReplacementPolicy policy :
+       {ReplacementPolicy::FIFO, ReplacementPolicy::TreePLRU}) {
+    const PolicyGridProfile p(t, policy, 4, 1, 2);
+    EXPECT_EQ(p.writebacks(1, 1), 1u) << toString(policy);
+    EXPECT_EQ(p.writebacks(1, 2), 1u) << toString(policy);
+    EXPECT_EQ(p.writebacks(1, 1), simPolicy(t, policy, 1, 1).writebacks);
+    EXPECT_EQ(p.writebacks(1, 2), simPolicy(t, policy, 1, 2).writebacks);
+    const CacheStats wb = p.stats(1, 2, WritePolicy::WriteBack);
+    EXPECT_EQ(wb.writebacks, 1u) << toString(policy);
+    EXPECT_EQ(wb.memWrites, 0u) << toString(policy);
+    // Write-through never writes back; one word store per write probe.
+    const CacheStats wt = p.stats(1, 2, WritePolicy::WriteThrough);
+    EXPECT_EQ(wt.writebacks, 0u) << toString(policy);
+    EXPECT_EQ(wt.memWrites, 2u) << toString(policy);
+    EXPECT_EQ(wt.misses(), wb.misses()) << toString(policy);
+  }
+}
+
+TEST(PolicyGridProfile, ChunkedFeedIsBitIdenticalToOnePass) {
+  // Cell state persists across feed() calls, so any chunking — even
+  // one that lands mid-straddle — matches a whole-trace pass.
+  for (const ReplacementPolicy policy :
+       {ReplacementPolicy::FIFO, ReplacementPolicy::TreePLRU}) {
+    const Trace trace = randomCheckTrace(11, 150, 600);
+    const PolicyGridProfile whole(trace, policy, 8, 4, 4);
+    PolicyGridProfile chunked(policy, 8, 4, 4);
+    std::size_t fed = 0;
+    std::size_t chunk = 1;
+    while (fed < trace.size()) {
+      const std::size_t n = std::min(chunk, trace.size() - fed);
+      chunked.feed(trace.refs().data() + fed, n);
+      fed += n;
+      chunk = chunk * 2 + 1;
+    }
+    for (const std::uint32_t sets : {1u, 2u, 4u}) {
+      for (const std::uint32_t assoc : {1u, 2u, 4u}) {
+        ASSERT_EQ(chunked.misses(sets, assoc), whole.misses(sets, assoc))
+            << toString(policy) << " sets=" << sets << " ways=" << assoc;
+        ASSERT_EQ(chunked.writebacks(sets, assoc),
+                  whole.writebacks(sets, assoc))
+            << toString(policy) << " sets=" << sets << " ways=" << assoc;
+      }
+    }
+  }
+}
+
+TEST(PolicyGridProfile, RestrictedCellsMatchFullGridAndGuardTheRest) {
+  // Cells are independent (no inclusion — see the pinned anomaly
+  // above), so a pass restricted to the cells a bank queries must be
+  // bit-identical to the full lattice on those cells; the masked-off
+  // cells are never simulated and their accessors enforce it.
+  for (const ReplacementPolicy policy :
+       {ReplacementPolicy::FIFO, ReplacementPolicy::TreePLRU}) {
+    const Trace trace = randomCheckTrace(13, 150, 600);
+    const PolicyGridProfile whole(trace, policy, 8, 8, 4);
+    PolicyGridProfile narrow(policy, 8, 8, 4);
+    // A diagonal plus one corner — the shape sweeps actually query.
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> queried = {
+        {1, 1}, {2, 2}, {4, 4}, {8, 1}};
+    narrow.restrictCells(queried);
+    EXPECT_EQ(narrow.cellCount(), 4u);
+    EXPECT_EQ(whole.cellCount(), 12u);
+    narrow.feed(trace);
+    for (const auto& [sets, ways] : queried) {
+      ASSERT_EQ(narrow.misses(sets, ways), whole.misses(sets, ways))
+          << toString(policy) << " sets=" << sets << " ways=" << ways;
+      ASSERT_EQ(narrow.lineFills(sets, ways), whole.lineFills(sets, ways))
+          << toString(policy) << " sets=" << sets << " ways=" << ways;
+      ASSERT_EQ(narrow.writebacks(sets, ways), whole.writebacks(sets, ways))
+          << toString(policy) << " sets=" << sets << " ways=" << ways;
+    }
+    // Unrestricted-pass invariants that do not depend on cells.
+    EXPECT_EQ(narrow.accesses(), whole.accesses());
+    EXPECT_EQ(narrow.lineProbes(), whole.lineProbes());
+    // A masked-off cell was never simulated; querying it is a contract
+    // violation, not a silent zero.
+    EXPECT_THROW((void)narrow.misses(1, 2), ContractViolation);
+    EXPECT_THROW((void)narrow.stats(2, 4, WritePolicy::WriteBack),
+                 ContractViolation);
+  }
+
+  // The restriction must precede the first feed (cell state cannot be
+  // reconstructed mid-trace), the list must be non-empty, and every
+  // listed cell must lie inside the profiled grid.
+  PolicyGridProfile late(ReplacementPolicy::FIFO, 8, 4, 2);
+  Trace t;
+  t.push(readRef(0));
+  late.feed(t);
+  EXPECT_THROW(late.restrictCells({{1, 1}}), ContractViolation);
+  PolicyGridProfile fresh(ReplacementPolicy::FIFO, 8, 4, 2);
+  EXPECT_THROW(fresh.restrictCells({}), ContractViolation);
+  EXPECT_THROW(fresh.restrictCells({{8, 1}}), ContractViolation);
+  EXPECT_THROW(fresh.restrictCells({{3, 1}}), ContractViolation);
+}
+
+TEST(PolicyGridProfile, RejectsBadArguments) {
+  Trace t;
+  t.push(readRef(0));
+  using PGP = PolicyGridProfile;
+  const ReplacementPolicy fifo = ReplacementPolicy::FIFO;
+  EXPECT_THROW(PGP(t, ReplacementPolicy::LRU, 8, 4, 2), ContractViolation);
+  EXPECT_THROW(PGP(t, fifo, 12, 4, 2), ContractViolation);  // L not pow2
+  EXPECT_THROW(PGP(t, fifo, 8, 3, 2), ContractViolation);   // sets not pow2
+  EXPECT_THROW(PGP(t, fifo, 8, 4, 0), ContractViolation);
+  EXPECT_THROW(PGP(t, fifo, 8, 4, 128), ContractViolation);  // > 64 ways
+
+  const PGP p(t, fifo, 8, 4, 2);
+  EXPECT_THROW((void)p.misses(3, 1), ContractViolation);   // not pow2
+  EXPECT_THROW((void)p.misses(8, 1), ContractViolation);   // > maxSets
+  EXPECT_THROW((void)p.misses(1, 0), ContractViolation);   // ways < 1
+  EXPECT_THROW((void)p.misses(1, 3), ContractViolation);   // > maxAssoc
+
+  Trace bad;
+  bad.push(MemRef{0, 0, AccessType::Read});
+  EXPECT_THROW(PGP(bad, fifo, 8, 1, 1), ContractViolation);
+}
+
 // --- StackDistSim ----------------------------------------------------
 
 TEST(StackDistSim, MatchesMultiCacheSimAcrossRandomLruBanks) {
@@ -386,10 +629,21 @@ TEST(StackDistSim, GroupsSharingALineSizeUseOnePass) {
 }
 
 TEST(StackDistSim, RejectsConfigsOutsideItsDomain) {
+  // FIFO and tree-PLRU sweeps are served by the PolicyGridProfile
+  // engine; only Random replacement (simulator-owned rng stream) and
+  // no-write-allocate caches still require simulation.
   CacheConfig fifo = randomLruCacheConfig(1);
   fifo.replacement = ReplacementPolicy::FIFO;
-  EXPECT_FALSE(StackDistSim::supports(fifo));
-  EXPECT_THROW(StackDistSim({fifo}), ContractViolation);
+  EXPECT_TRUE(StackDistSim::supports(fifo));
+
+  CacheConfig plru = randomLruCacheConfig(1);
+  plru.replacement = ReplacementPolicy::TreePLRU;
+  EXPECT_TRUE(StackDistSim::supports(plru));
+
+  CacheConfig rnd = randomLruCacheConfig(1);
+  rnd.replacement = ReplacementPolicy::Random;
+  EXPECT_FALSE(StackDistSim::supports(rnd));
+  EXPECT_THROW(StackDistSim({rnd}), ContractViolation);
 
   CacheConfig noAlloc = randomLruCacheConfig(1);
   noAlloc.allocatePolicy = AllocatePolicy::NoWriteAllocate;
@@ -398,6 +652,54 @@ TEST(StackDistSim, RejectsConfigsOutsideItsDomain) {
 
   EXPECT_TRUE(StackDistSim::supports(randomLruCacheConfig(1)));
   EXPECT_THROW(StackDistSim({}), ContractViolation);
+}
+
+TEST(StackDistSim, FifoAndPlruGroupsUseTheGridEngine) {
+  CacheConfig lru = randomLruCacheConfig(2);
+  CacheConfig fifo = lru;
+  fifo.replacement = ReplacementPolicy::FIFO;
+  CacheConfig plru = lru;
+  plru.replacement = ReplacementPolicy::TreePLRU;
+  plru.sizeBytes *= 2;
+  const StackDistSim bank({lru, fifo, plru});
+  EXPECT_EQ(bank.size(), 3u);
+  // Same line size but three distinct replacement policies: one LRU
+  // pass plus two analytic grid passes.
+  EXPECT_EQ(bank.passCount(), 3u);
+  EXPECT_EQ(bank.gridPassCount(), 2u);
+  EXPECT_GT(bank.gridCellCount(), 0u);
+}
+
+TEST(StackDistSim, MatchesMultiCacheSimAcrossRandomGridBanks) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    CacheConfig fifo = randomLruCacheConfig(seed);
+    fifo.replacement = ReplacementPolicy::FIFO;
+    CacheConfig plru = randomLruCacheConfig(seed + 1000);
+    plru.replacement = ReplacementPolicy::TreePLRU;
+    const std::vector<CacheConfig> bank = {fifo, plru,
+                                           randomLruCacheConfig(seed + 2000)};
+    const Trace trace = randomCheckTrace(seed, 200, 800);
+
+    StackDistSim analytic(bank);
+    analytic.run(trace);
+    MultiCacheSim simulated(bank);
+    simulated.run(trace);
+
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+      const CacheStats& want = simulated.stats(i);
+      const CacheStats& got = analytic.stats(i);
+      ASSERT_EQ(got.readMisses, want.readMisses)
+          << "seed " << seed << " " << bank[i].label();
+      ASSERT_EQ(got.writeMisses, want.writeMisses)
+          << "seed " << seed << " " << bank[i].label();
+      ASSERT_EQ(got.readHits, want.readHits);
+      ASSERT_EQ(got.writeHits, want.writeHits);
+      ASSERT_EQ(got.lineFills, want.lineFills);
+      ASSERT_EQ(got.memWrites, want.memWrites);
+      ASSERT_EQ(got.writebacks, want.writebacks)
+          << "seed " << seed << " " << bank[i].label();
+    }
+  }
 }
 
 TEST(StackDistSim, IsSingleShot) {
